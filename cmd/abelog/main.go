@@ -1,0 +1,112 @@
+// Command abelog generates the calibrated synthetic ABE failure logs and
+// runs the paper's log-analysis pipeline over them (Tables 1-4), or analyzes
+// an existing log file in the same format.
+//
+// Usage:
+//
+//	abelog -table 1                  # generate synthetic logs, print Table 1
+//	abelog -table 4 -disks 480
+//	abelog -write-san san.log -write-compute compute.log
+//	abelog -analyze san.log -table 1 # analyze an existing log file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/loganalysis"
+	"repro/internal/loggen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("abelog: ")
+
+	var (
+		table        = flag.Int("table", 0, "table to reproduce (1-4); 0 prints summary rates")
+		seed         = flag.Uint64("seed", 0, "log generation seed (0 = calibrated default)")
+		disks        = flag.Int("disks", 480, "disk population for the survival analysis")
+		writeSAN     = flag.String("write-san", "", "write the synthetic SAN log to this file")
+		writeCompute = flag.String("write-compute", "", "write the synthetic compute log to this file")
+		analyze      = flag.String("analyze", "", "analyze an existing log file instead of generating one")
+	)
+	flag.Parse()
+
+	if *analyze != "" {
+		analyzeFile(*analyze, *disks)
+		return
+	}
+
+	cfg := loggen.ABEConfig()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	logs, err := loggen.Generate(cfg)
+	if err != nil {
+		log.Fatalf("generating logs: %v", err)
+	}
+	if *writeSAN != "" {
+		writeLog(*writeSAN, logs.SAN)
+	}
+	if *writeCompute != "" {
+		writeLog(*writeCompute, logs.Compute)
+	}
+
+	if *table >= 1 && *table <= 4 {
+		out, err := experiments.Run(fmt.Sprintf("table%d", *table), experiments.Options{Seed: cfg.Seed})
+		if err != nil {
+			log.Fatalf("table %d: %v", *table, err)
+		}
+		fmt.Println(out)
+		return
+	}
+
+	rates, err := loganalysis.DeriveRates(logs, *disks)
+	if err != nil {
+		log.Fatalf("deriving rates: %v", err)
+	}
+	fmt.Printf("CFS availability (from SAN log):       %.4f\n", rates.CFSAvailability)
+	fmt.Printf("Outages per month:                     %.2f (mean %.1f h)\n", rates.OutagesPerMonth, rates.MeanOutageHours)
+	fmt.Printf("Jobs per hour:                         %.2f\n", rates.JobsPerHour)
+	fmt.Printf("Transient job failure fraction:        %.4f\n", rates.TransientJobFailureFraction)
+	fmt.Printf("Other job failure fraction:            %.4f\n", rates.OtherJobFailureFraction)
+	fmt.Printf("Disk Weibull shape (MLE):              %.4f\n", rates.DiskWeibullShape)
+	fmt.Printf("Disk MTBF implied by fit (hours):      %.0f\n", rates.DiskMTBFHours)
+	fmt.Printf("Disk replacements per week:            %.2f\n", rates.DiskReplacementsPerWeek)
+}
+
+func analyzeFile(path string, disks int) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("opening %s: %v", path, err)
+	}
+	defer f.Close()
+	events, err := loganalysis.Parse(f)
+	if err != nil {
+		log.Fatalf("parsing %s: %v", path, err)
+	}
+	if rep, err := loganalysis.AnalyzeOutages(events); err == nil {
+		fmt.Printf("outages: %d, downtime %.1f h, availability %.4f\n", len(rep.Outages), rep.DowntimeHours, rep.Availability)
+	}
+	if rep, err := loganalysis.AnalyzeDisks(events, disks); err == nil {
+		fmt.Printf("disk failures: %d (%.2f/week), weibull shape %.4f\n", rep.TotalFailures, rep.PerWeek, rep.Fit.Shape)
+	}
+	if stats, err := loganalysis.AnalyzeJobs(events); err == nil {
+		fmt.Printf("jobs: %d submitted, %d transient failures, %d other failures\n", stats.TotalJobs, stats.TransientFailures, stats.OtherFailures)
+	}
+}
+
+func writeLog(path string, events []loggen.Event) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("creating %s: %v", path, err)
+	}
+	defer f.Close()
+	if err := loggen.Write(f, events); err != nil {
+		log.Fatalf("writing %s: %v", path, err)
+	}
+	log.Printf("wrote %d events to %s", len(events), path)
+}

@@ -1,0 +1,65 @@
+// Command abesim regenerates the paper's evaluation: every table and figure
+// plus the ablation studies, using the reimplemented SAN simulator and the
+// ABE/petascale configurations.
+//
+// Usage:
+//
+//	abesim -experiment figure4 [-replications 60] [-mission 8760] [-seed 1] [-quick]
+//	abesim -list
+//	abesim -all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("abesim: ")
+
+	var (
+		name         = flag.String("experiment", "", "experiment to run (see -list)")
+		list         = flag.Bool("list", false, "list available experiments and exit")
+		all          = flag.Bool("all", false, "run every experiment")
+		replications = flag.Int("replications", 0, "replications per design point (0 = default)")
+		mission      = flag.Float64("mission", 0, "mission time per replication in hours (0 = one year)")
+		seed         = flag.Uint64("seed", 0, "random seed (0 = default)")
+		quick        = flag.Bool("quick", false, "fewer replications and sweep points")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	opts := experiments.Options{
+		Replications: *replications,
+		MissionHours: *mission,
+		Seed:         *seed,
+		Quick:        *quick,
+	}
+
+	names := []string{*name}
+	if *all {
+		names = experiments.Names()
+	} else if *name == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, n := range names {
+		out, err := experiments.Run(n, opts)
+		if err != nil {
+			log.Fatalf("experiment %q: %v", n, err)
+		}
+		fmt.Printf("### %s\n\n%s\n", n, out)
+	}
+}

@@ -1,0 +1,52 @@
+// The petascale_scaling example reproduces the paper's headline scaling
+// study (Figure 4): it evaluates the ABE cluster-file-system design at its
+// current scale and as it is scaled toward a petaflop-petabyte system,
+// reporting storage availability, CFS availability, cluster utility, and the
+// gain from a standby-spare OSS at each scale.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/abe"
+	"repro/internal/core"
+	"repro/internal/san"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	opts := san.Options{
+		Mission:      8760,
+		Replications: 40,
+		Seed:         2008,
+	}
+
+	fmt.Println("Scaling the ABE CFS design toward petascale (Figure 4 reproduction)")
+	fmt.Println()
+	fmt.Printf("%-8s  %-12s  %-12s  %-10s  %-12s  %-12s\n",
+		"scale", "storage", "CFS avail", "CU", "CFS+spare", "disks/week")
+
+	for _, factor := range []float64{1, 2, 4, 6, 8, 10} {
+		cfg := abe.ABE().ScaledBy(factor)
+		base, err := abe.Evaluate(cfg, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spare, err := abe.Evaluate(cfg.WithSpareOSS(true), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8.0fx %-12.5f  %-12.4f  %-10.4f  %-12.4f  %-12.2f\n",
+			factor, base.StorageAvailability, base.CFSAvailability, base.ClusterUtility,
+			spare.CFSAvailability, base.DiskReplacementsPerWeek)
+	}
+
+	fmt.Println()
+	rec, err := core.RecommendSpareOSS(abe.Petascale(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("design recommendation:", rec.Finding)
+}

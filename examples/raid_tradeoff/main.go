@@ -1,0 +1,71 @@
+// The raid_tradeoff example explores the storage design space of Figures 2
+// and 3: RAID (8+2) versus (8+3), disk quality (AFR), infant mortality
+// (Weibull shape), and replacement time, reporting storage availability and
+// the disk-replacement burden at ABE and petascale sizes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/raid"
+	"repro/internal/san"
+)
+
+type design struct {
+	name         string
+	shape        float64
+	afrPercent   float64
+	geometry     raid.TierGeometry
+	replaceHours float64
+}
+
+func main() {
+	log.SetFlags(0)
+
+	designs := []design{
+		{"ABE disks, RAID6 8+2", 0.7, 2.92, raid.TierGeometry{Data: 8, Parity: 2}, 4},
+		{"High infant mortality, 8+2", 0.6, 8.76, raid.TierGeometry{Data: 8, Parity: 2}, 4},
+		{"High infant mortality, 8+3 (Blue Waters)", 0.6, 8.76, raid.TierGeometry{Data: 8, Parity: 3}, 4},
+		{"Slow replacement (12 h), 8+2", 0.7, 2.92, raid.TierGeometry{Data: 8, Parity: 2}, 12},
+	}
+	scales := []int{480, 4800} // ABE and petascale disk counts
+
+	opts := san.Options{Mission: 8760, Replications: 40, Seed: 7}
+
+	fmt.Println("Storage design trade-offs (Figures 2 and 3 reproduction)")
+	fmt.Println()
+	for _, d := range designs {
+		for _, disks := range scales {
+			cfg := raid.ABEStorage()
+			cfg.Geometry = d.geometry
+			cfg.Disk.ShapeBeta = d.shape
+			cfg.Disk.MTBFHours = 8760 / (d.afrPercent / 100)
+			cfg.Disk.ReplaceHours = d.replaceHours
+			scaled, err := cfg.ScaledToDisks(disks)
+			if err != nil {
+				log.Fatal(err)
+			}
+
+			model := san.NewModel("raid-tradeoff")
+			sp, err := raid.BuildStorage(model, "storage", scaled)
+			if err != nil {
+				log.Fatal(err)
+			}
+			study, err := san.RunReplications(model, []san.RewardVariable{
+				sp.AvailabilityReward("availability"),
+				sp.ReplacementCountReward("replacements"),
+			}, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			analytic, err := raid.ExpectedReplacementsPerWeek(scaled)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-42s  disks=%-5d  availability=%.6f  replacements/week=%.2f (analytic %.2f)\n",
+				d.name, scaled.TotalDisks(), study.Mean("availability"),
+				study.Mean("replacements")*168/opts.Mission, analytic)
+		}
+	}
+}

@@ -1,0 +1,529 @@
+// Package abe assembles the paper's composed dependability model of the ABE
+// cluster file system (Figure 1) from the storage, cluster, and SAN
+// substrates, defines the reward measures of Section 4.2 (storage
+// availability, CFS availability, cluster utility, disk replacement rate),
+// and provides the ABE and petascale configurations used throughout the
+// evaluation (Table 5, Figures 2-4).
+package abe
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/dist"
+	"repro/internal/raid"
+	"repro/internal/san"
+	"repro/internal/stats"
+)
+
+// Reward-variable names produced by the composed model.
+const (
+	RewardStorageAvailability = "storage_availability"
+	RewardCFSAvailability     = "cfs_availability"
+	RewardDiskReplacements    = "disk_replacements"
+	RewardLostJobsCFS         = "lost_jobs_cfs"
+	RewardLostJobsTransient   = "lost_jobs_transient"
+	RewardOSSPairsDown        = "oss_pairs_down_time_avg"
+)
+
+// ErrBadConfig reports an invalid cluster configuration.
+var ErrBadConfig = errors.New("abe: invalid configuration")
+
+// OSSConfig parameterizes the metadata/file-server (OSS) fail-over pairs.
+type OSSConfig struct {
+	// HWMTBFHours is the per-server hardware MTBF. Table 5's "1-2 hardware
+	// failures per 720 hours" is read per fail-over pair, i.e. ~0.5-1 per
+	// month per server.
+	HWMTBFHours float64
+	// HWRepairLoHours/HWRepairHiHours bound hardware repair (12-36 h).
+	HWRepairLoHours float64
+	HWRepairHiHours float64
+	// SWMTBFHours is the per-server software-failure MTBF.
+	SWMTBFHours float64
+	// SWRepairLoHours/SWRepairHiHours bound software repair (2-6 h, fsck).
+	SWRepairLoHours float64
+	SWRepairHiHours float64
+	// PropagationProb is the correlated-failure probability p.
+	PropagationProb float64
+	// SpareOSS enables the standby-spare OSS design alternative.
+	SpareOSS bool
+	// SpareActivationHours is the state-transfer time onto the spare.
+	SpareActivationHours float64
+}
+
+// Validate checks the OSS parameters.
+func (c OSSConfig) Validate() error {
+	if !(c.HWMTBFHours > 0) || !(c.SWMTBFHours > 0) {
+		return fmt.Errorf("%w: OSS MTBFs %+v", ErrBadConfig, c)
+	}
+	if !(c.HWRepairLoHours > 0) || c.HWRepairHiHours < c.HWRepairLoHours ||
+		!(c.SWRepairLoHours > 0) || c.SWRepairHiHours < c.SWRepairLoHours {
+		return fmt.Errorf("%w: OSS repair ranges %+v", ErrBadConfig, c)
+	}
+	if c.PropagationProb < 0 || c.PropagationProb > 1 {
+		return fmt.Errorf("%w: propagation probability %v", ErrBadConfig, c.PropagationProb)
+	}
+	if c.SpareOSS && !(c.SpareActivationHours > 0) {
+		return fmt.Errorf("%w: spare OSS without activation time", ErrBadConfig)
+	}
+	return nil
+}
+
+// InfrastructureConfig parameterizes the shared, scale-independent parts of
+// the CFS: the SAN fabric between the OSSes and the DDN units and the
+// cluster-wide file-system software. Outages of these components affect the
+// whole CFS regardless of how many file servers are deployed (Table 1's
+// network / file-system / batch outages).
+type InfrastructureConfig struct {
+	// FabricMTBFHours is the mean time between outages of the OSS-DDN
+	// network fabric and other shared components.
+	FabricMTBFHours float64
+	// FabricRepairLoHours/FabricRepairHiHours bound the repair time.
+	FabricRepairLoHours float64
+	FabricRepairHiHours float64
+}
+
+// Validate checks the infrastructure parameters.
+func (c InfrastructureConfig) Validate() error {
+	if !(c.FabricMTBFHours > 0) || !(c.FabricRepairLoHours > 0) || c.FabricRepairHiHours < c.FabricRepairLoHours {
+		return fmt.Errorf("%w: infrastructure %+v", ErrBadConfig, c)
+	}
+	return nil
+}
+
+// WorkloadConfig parameterizes the CLIENT submodel: the compute-node job
+// stream and the transient errors of the COTS network between the compute
+// nodes and the CFS.
+type WorkloadConfig struct {
+	// ComputeNodes is the number of compute nodes (1200 for ABE).
+	ComputeNodes int
+	// JobsPerHour is the job submission rate (12-15 per hour, Table 5).
+	JobsPerHour float64
+	// TransientEventsPerHour is the rate of transient network-error events
+	// at the reference (ABE) scale; it is scaled with the number of
+	// OSS-client network paths when the system grows.
+	TransientEventsPerHour float64
+	// TransientOutageLoHours/TransientOutageHiHours bound the short
+	// unavailability each transient event induces.
+	TransientOutageLoHours float64
+	TransientOutageHiHours float64
+	// JobsKilledPerTransient is the expected number of running jobs killed
+	// by one transient event (calibrated to Table 3).
+	JobsKilledPerTransient float64
+	// JobCFSExposure is the fraction of jobs arriving during a CFS outage
+	// that actually fail (the batch system holds the rest).
+	JobCFSExposure float64
+}
+
+// Validate checks the workload parameters.
+func (c WorkloadConfig) Validate() error {
+	if c.ComputeNodes < 1 || !(c.JobsPerHour > 0) {
+		return fmt.Errorf("%w: workload %+v", ErrBadConfig, c)
+	}
+	if !(c.TransientEventsPerHour > 0) || !(c.TransientOutageLoHours > 0) ||
+		c.TransientOutageHiHours < c.TransientOutageLoHours {
+		return fmt.Errorf("%w: transient parameters %+v", ErrBadConfig, c)
+	}
+	if c.JobsKilledPerTransient < 0 || c.JobCFSExposure < 0 || c.JobCFSExposure > 1 {
+		return fmt.Errorf("%w: job failure parameters %+v", ErrBadConfig, c)
+	}
+	return nil
+}
+
+// Config is the full configuration of the composed CFS model.
+type Config struct {
+	// Name labels the configuration in reports.
+	Name string
+	// ScratchOSSPairs is the number of fail-over pairs serving /cfs/scratch
+	// (8 on ABE, scaled up to 80 for petascale).
+	ScratchOSSPairs int
+	// MetadataOSSPairs is the number of metadata server pairs (1 on ABE).
+	MetadataOSSPairs int
+	// OSS holds the file-server failure/repair parameters.
+	OSS OSSConfig
+	// Storage describes the DDN units, RAID tiers, and disks.
+	Storage raid.StorageConfig
+	// Infrastructure describes the shared SAN fabric.
+	Infrastructure InfrastructureConfig
+	// Workload describes the client job stream and transient errors.
+	Workload WorkloadConfig
+}
+
+// ABE returns the configuration of the ABE cluster as described in
+// Section 3 of the paper and calibrated against its log analysis:
+// 1200 compute nodes, 8 scratch OSS pairs plus 1 metadata pair, 2 DDN units
+// (480 disks, 96 TB), Weibull(0.7) disks with 300,000 h MTBF, and failure/
+// repair rates from Table 5.
+func ABE() Config {
+	return Config{
+		Name:             "ABE",
+		ScratchOSSPairs:  8,
+		MetadataOSSPairs: 1,
+		OSS: OSSConfig{
+			HWMTBFHours:          1440, // 0.5 failures/month per server => 1/month per pair
+			HWRepairLoHours:      12,
+			HWRepairHiHours:      36,
+			SWMTBFHours:          1440,
+			SWRepairLoHours:      2,
+			SWRepairHiHours:      6,
+			PropagationProb:      0.02,
+			SpareOSS:             false,
+			SpareActivationHours: 8,
+		},
+		Storage: raid.ABEStorage(),
+		Infrastructure: InfrastructureConfig{
+			FabricMTBFHours:     584, // ~15 shared outages per year (Table 1 pace)
+			FabricRepairLoHours: 8,
+			FabricRepairHiHours: 16,
+		},
+		Workload: WorkloadConfig{
+			ComputeNodes:           1200,
+			JobsPerHour:            12.85, // 44085 jobs over the 143-day log window
+			TransientEventsPerHour: 0.12,
+			TransientOutageLoHours: 0.05, // 3 minutes
+			TransientOutageHiHours: 0.20, // 12 minutes
+			JobsKilledPerTransient: 3.0,
+			JobCFSExposure:         0.15,
+		},
+	}
+}
+
+// Petascale returns the Blue Waters-class configuration the paper scales to:
+// roughly ten times the ABE I/O subsystem (80 scratch OSS pairs, 20 DDN
+// units, 4800 disks) serving 32,000 compute nodes, with an (8+3) upgrade
+// left to the caller (see WithGeometry).
+func Petascale() Config {
+	cfg := ABE().ScaledBy(10)
+	cfg.Name = "Petascale"
+	cfg.Workload.ComputeNodes = 32000
+	return cfg
+}
+
+// ScaledBy returns a copy of the configuration with the I/O subsystem scaled
+// by the given factor: the number of scratch OSS pairs and DDN units grows
+// proportionally, compute nodes grow proportionally, and the transient-error
+// rate grows with the number of OSS-client network paths. The metadata
+// server count and the shared fabric stay fixed, as in the paper's scaling
+// study.
+func (c Config) ScaledBy(factor float64) Config {
+	if factor <= 0 {
+		factor = 1
+	}
+	out := c
+	out.Name = fmt.Sprintf("%s x%.2g", c.Name, factor)
+	out.ScratchOSSPairs = int(math.Round(float64(c.ScratchOSSPairs) * factor))
+	if out.ScratchOSSPairs < 1 {
+		out.ScratchOSSPairs = 1
+	}
+	out.Storage.DDNUnits = int(math.Round(float64(c.Storage.DDNUnits) * factor))
+	if out.Storage.DDNUnits < 1 {
+		out.Storage.DDNUnits = 1
+	}
+	out.Workload.ComputeNodes = int(math.Round(float64(c.Workload.ComputeNodes) * factor))
+	if out.Workload.ComputeNodes < 1 {
+		out.Workload.ComputeNodes = 1
+	}
+	out.Workload.TransientEventsPerHour = c.Workload.TransientEventsPerHour * factor
+	return out
+}
+
+// WithSpareOSS returns a copy of the configuration with the standby-spare
+// OSS design alternative enabled or disabled.
+func (c Config) WithSpareOSS(enabled bool) Config {
+	out := c
+	out.OSS.SpareOSS = enabled
+	return out
+}
+
+// WithGeometry returns a copy of the configuration using the given RAID
+// geometry (e.g. 8+3 for Blue Waters).
+func (c Config) WithGeometry(g raid.TierGeometry) Config {
+	out := c
+	out.Storage.Geometry = g
+	return out
+}
+
+// WithDisk returns a copy of the configuration with the given disk failure
+// parameters (Weibull shape, MTBF via AFR, replacement time) — the tuple the
+// Figure 2/3 series are labeled with.
+func (c Config) WithDisk(shape, afr, replaceHours float64) (Config, error) {
+	mtbf, err := dist.AFRToMTBFHours(afr)
+	if err != nil {
+		return Config{}, err
+	}
+	out := c
+	out.Storage.Disk.ShapeBeta = shape
+	out.Storage.Disk.MTBFHours = mtbf
+	out.Storage.Disk.ReplaceHours = replaceHours
+	return out, nil
+}
+
+// Validate checks the full configuration.
+func (c Config) Validate() error {
+	if c.ScratchOSSPairs < 1 || c.MetadataOSSPairs < 1 {
+		return fmt.Errorf("%w: OSS pair counts %d/%d", ErrBadConfig, c.ScratchOSSPairs, c.MetadataOSSPairs)
+	}
+	if err := c.OSS.Validate(); err != nil {
+		return err
+	}
+	if err := c.Storage.Validate(); err != nil {
+		return err
+	}
+	if err := c.Infrastructure.Validate(); err != nil {
+		return err
+	}
+	return c.Workload.Validate()
+}
+
+// TotalOSSPairs returns the number of modeled OSS fail-over pairs.
+func (c Config) TotalOSSPairs() int { return c.ScratchOSSPairs + c.MetadataOSSPairs }
+
+// ---------------------------------------------------------------------------
+// Model construction
+// ---------------------------------------------------------------------------
+
+// ModelPlaces exposes the shared state of the composed model for rewards and
+// tests.
+type ModelPlaces struct {
+	// Storage is the DDN/RAID submodel state.
+	Storage *raid.StoragePlaces
+	// OSSPairsOut counts OSS fail-over pairs currently causing an outage.
+	OSSPairsOut *san.Place
+	// SharedOut counts shared-infrastructure components currently failed.
+	SharedOut *san.Place
+	// Transient is the client-side transient error source.
+	Transient *cluster.TransientPlaces
+	// Config echoes the configuration the model was built from.
+	Config Config
+}
+
+// CFSOperational reports whether the cluster file system can serve clients
+// in marking m: every OSS pair, the shared fabric, and the storage subsystem
+// must be operational (the paper's CFS availability definition).
+func (mp *ModelPlaces) CFSOperational(m san.MarkingReader) bool {
+	return m.Tokens(mp.OSSPairsOut) == 0 &&
+		m.Tokens(mp.SharedOut) == 0 &&
+		mp.Storage.Operational(m)
+}
+
+// Build adds the full composed CFS model for cfg to m and returns its shared
+// places. The composition mirrors Figure 1: CLIENT joined with CFS_UNIT,
+// which is itself the join of OSS, OSS_SAN_NW, SAN, and the replicated
+// DDN_UNITS.
+func Build(m *san.Model, cfg Config) (*ModelPlaces, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mp := &ModelPlaces{Config: cfg}
+	var err error
+	mp.OSSPairsOut, err = m.AddPlaceErr("cfs/oss_pairs_out", 0)
+	if err != nil {
+		return nil, err
+	}
+	mp.SharedOut, err = m.AddPlaceErr("cfs/shared_out", 0)
+	if err != nil {
+		return nil, err
+	}
+
+	hwRepair, err := dist.NewUniform(cfg.OSS.HWRepairLoHours, cfg.OSS.HWRepairHiHours)
+	if err != nil {
+		return nil, err
+	}
+	swRepair, err := dist.NewUniform(cfg.OSS.SWRepairLoHours, cfg.OSS.SWRepairHiHours)
+	if err != nil {
+		return nil, err
+	}
+	pairCfg := cluster.PairConfig{
+		HWMTBFHours:          cfg.OSS.HWMTBFHours,
+		HWRepair:             hwRepair,
+		SWMTBFHours:          cfg.OSS.SWMTBFHours,
+		SWRepair:             swRepair,
+		PropagationProb:      cfg.OSS.PropagationProb,
+		Spare:                cfg.OSS.SpareOSS,
+		SpareActivationHours: cfg.OSS.SpareActivationHours,
+	}
+
+	// OSS: metadata pairs and scratch file-server pairs.
+	err = san.Replicate(m, "cfs/oss/metadata", cfg.MetadataOSSPairs, func(m *san.Model, prefix string, _ int) error {
+		_, err := cluster.BuildFailoverPair(m, prefix, pairCfg, mp.OSSPairsOut)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = san.Replicate(m, "cfs/oss/scratch", cfg.ScratchOSSPairs, func(m *san.Model, prefix string, _ int) error {
+		_, err := cluster.BuildFailoverPair(m, prefix, pairCfg, mp.OSSPairsOut)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// OSS_SAN_NW / SAN: shared fabric between the OSSes and the DDN units.
+	fabricRepair, err := dist.NewUniform(cfg.Infrastructure.FabricRepairLoHours, cfg.Infrastructure.FabricRepairHiHours)
+	if err != nil {
+		return nil, err
+	}
+	err = cluster.BuildRepairable(m, "cfs/oss_san_nw", cluster.RepairableConfig{
+		MTBFHours: cfg.Infrastructure.FabricMTBFHours,
+		Repair:    fabricRepair,
+	}, mp.SharedOut)
+	if err != nil {
+		return nil, err
+	}
+
+	// DDN_UNITS: controllers and RAID6 tiers of disks.
+	mp.Storage, err = raid.BuildStorage(m, "cfs/ddn_units", cfg.Storage)
+	if err != nil {
+		return nil, err
+	}
+
+	// CLIENT: transient errors of the compute-node <-> CFS network.
+	mp.Transient, err = cluster.BuildTransientSource(m, "client/network", cluster.TransientConfig{
+		EventsPerHour: cfg.Workload.TransientEventsPerHour,
+		OutageLoHours: cfg.Workload.TransientOutageLoHours,
+		OutageHiHours: cfg.Workload.TransientOutageHiHours,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mp, nil
+}
+
+// Rewards returns the reward variables estimated on the composed model: the
+// two availabilities, the disk replacement count, the expected job losses
+// (used to derive the cluster utility CU), and the time-averaged number of
+// OSS pairs down.
+func (mp *ModelPlaces) Rewards() []san.RewardVariable {
+	cfg := mp.Config
+	lostPerHourWhenDown := cfg.Workload.JobsPerHour * cfg.Workload.JobCFSExposure
+	rewards := []san.RewardVariable{
+		mp.Storage.AvailabilityReward(RewardStorageAvailability),
+		san.UpFraction(RewardCFSAvailability, mp.CFSOperational),
+		mp.Storage.ReplacementCountReward(RewardDiskReplacements),
+		{
+			Name: RewardLostJobsCFS,
+			Mode: san.Accumulated,
+			Rate: func(m san.MarkingReader) float64 {
+				if mp.CFSOperational(m) {
+					return 0
+				}
+				return lostPerHourWhenDown
+			},
+		},
+		{
+			Name: RewardLostJobsTransient,
+			Mode: san.Accumulated,
+			Impulses: map[string]san.ImpulseFunc{
+				mp.Transient.EventActivity: func(san.MarkingReader) float64 {
+					return cfg.Workload.JobsKilledPerTransient
+				},
+			},
+		},
+		san.TokenTimeAverage(RewardOSSPairsDown, mp.OSSPairsOut),
+	}
+	return rewards
+}
+
+// CompositionTree returns the replicate/join composition tree of the model
+// (the paper's Figure 1) for the given configuration.
+func CompositionTree(cfg Config) *san.CompositionNode {
+	return san.NewJoinNode("CLUSTER",
+		san.NewAtomicNode("CLIENT"),
+		san.NewJoinNode("CFS_UNIT",
+			san.NewReplicateNode("OSS", cfg.TotalOSSPairs(), san.NewAtomicNode("OSS_PAIR")),
+			san.NewAtomicNode("OSS_SAN_NW"),
+			san.NewAtomicNode("SAN"),
+			san.NewReplicateNode("DDN_UNITS", cfg.Storage.DDNUnits,
+				san.NewJoinNode("DDN",
+					san.NewAtomicNode("RAID_CONTROLLER"),
+					san.NewReplicateNode("RAID6_TIERS", cfg.Storage.TiersPerDDN, san.NewAtomicNode("RAID6_TIER")),
+				),
+			),
+		),
+	)
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+// Measures are the derived measures of Section 4.2 for one configuration.
+type Measures struct {
+	// Config echoes the evaluated configuration.
+	Config Config
+	// StorageAvailability is the fraction of time all DDN units and tiers
+	// are operational.
+	StorageAvailability float64
+	// CFSAvailability is the fraction of time the whole CFS can serve
+	// clients.
+	CFSAvailability float64
+	// ClusterUtility is CU = 1 - failedJobs/totalJobs.
+	ClusterUtility float64
+	// DiskReplacementsPerWeek is the expected number of disks replaced per
+	// week to sustain availability.
+	DiskReplacementsPerWeek float64
+	// LostJobsPerYear splits the expected annual job losses by cause.
+	LostJobsTransientPerYear float64
+	LostJobsCFSPerYear       float64
+	// Intervals holds the 95% confidence intervals of the raw reward means.
+	Intervals map[string]stats.Interval
+	// MissionHours is the mission time each replication covered.
+	MissionHours float64
+	// Replications is the number of replications used.
+	Replications int
+}
+
+// Evaluate builds the composed model for cfg, runs a replicated terminating
+// simulation, and derives the paper's measures.
+func Evaluate(cfg Config, opts san.Options) (Measures, error) {
+	model := san.NewModel(cfg.Name)
+	mp, err := Build(model, cfg)
+	if err != nil {
+		return Measures{}, err
+	}
+	study, err := san.RunReplications(model, mp.Rewards(), opts)
+	if err != nil {
+		return Measures{}, err
+	}
+	return deriveMeasures(cfg, study)
+}
+
+func deriveMeasures(cfg Config, study *san.StudyResult) (Measures, error) {
+	mission := study.Options.Mission
+	totalJobs := cfg.Workload.JobsPerHour * mission
+	lostTransient := study.Mean(RewardLostJobsTransient)
+	lostCFS := study.Mean(RewardLostJobsCFS)
+	cu := 1 - (lostTransient+lostCFS)/totalJobs
+	if cu < 0 {
+		cu = 0
+	}
+	m := Measures{
+		Config:                   cfg,
+		StorageAvailability:      study.Mean(RewardStorageAvailability),
+		CFSAvailability:          study.Mean(RewardCFSAvailability),
+		ClusterUtility:           cu,
+		DiskReplacementsPerWeek:  study.Mean(RewardDiskReplacements) * dist.HoursPerWeek / mission,
+		LostJobsTransientPerYear: lostTransient * dist.HoursPerYear / mission,
+		LostJobsCFSPerYear:       lostCFS * dist.HoursPerYear / mission,
+		Intervals:                make(map[string]stats.Interval, len(study.Summaries)),
+		MissionHours:             mission,
+		Replications:             study.Options.Replications,
+	}
+	for name := range study.Summaries {
+		ci, err := study.Interval(name)
+		if err != nil {
+			return Measures{}, fmt.Errorf("abe: interval for %q: %w", name, err)
+		}
+		m.Intervals[name] = ci
+	}
+	return m, nil
+}
+
+// String renders the headline measures.
+func (m Measures) String() string {
+	return fmt.Sprintf("%s: storage=%.5f cfs=%.4f cu=%.4f disks/week=%.2f",
+		m.Config.Name, m.StorageAvailability, m.CFSAvailability, m.ClusterUtility, m.DiskReplacementsPerWeek)
+}

@@ -1,0 +1,213 @@
+// Package checkpoint extends the dependability analysis toward the paper's
+// future work: coupling the file-system availability results to application
+// performance. Petascale applications tolerate failures by writing periodic
+// coordinated checkpoints through the cluster file system; the time spent
+// checkpointing, the work lost to failures, and the time spent waiting out
+// CFS outages together determine how much of the machine's capacity reaches
+// science. The paper's introduction cites exactly this effect ("more than
+// half the computation time would be spent checkpointing" on very large
+// systems, after Long et al. / Oliner et al.); this package reproduces that
+// analysis on top of the reproduced CFS model.
+//
+// The model is the standard first-order checkpoint/restart analysis with
+// Daly's higher-order optimal interval, parameterized by the aggregate CFS
+// write bandwidth (which scales with the number of OSS pairs) and the
+// system's mean time between job-visible interrupts.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/abe"
+)
+
+// ErrBadParameters reports an invalid checkpoint-analysis configuration.
+var ErrBadParameters = errors.New("checkpoint: invalid parameters")
+
+// Params describes one checkpointed application running on the cluster.
+type Params struct {
+	// CheckpointBytes is the size of one coordinated checkpoint (application
+	// state across all nodes).
+	CheckpointBytes float64
+	// BandwidthBytesPerSec is the aggregate sustained CFS write bandwidth
+	// available for checkpointing.
+	BandwidthBytesPerSec float64
+	// MTBFHours is the mean time between job-visible interrupts (node,
+	// network, or CFS failures that kill or stall the application).
+	MTBFHours float64
+	// RestartHours is the time to restart and re-read the last checkpoint
+	// after an interrupt.
+	RestartHours float64
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if !(p.CheckpointBytes > 0) || !(p.BandwidthBytesPerSec > 0) || !(p.MTBFHours > 0) || p.RestartHours < 0 {
+		return fmt.Errorf("%w: %+v", ErrBadParameters, p)
+	}
+	return nil
+}
+
+// CheckpointHours returns δ, the time to write one checkpoint, in hours.
+func (p Params) CheckpointHours() float64 {
+	return p.CheckpointBytes / p.BandwidthBytesPerSec / 3600.0
+}
+
+// OptimalInterval returns Daly's higher-order estimate of the optimal
+// compute time between checkpoints (hours):
+//
+//	τ_opt = sqrt(2δM) · [1 + 1/3·sqrt(δ/(2M)) + 1/9·(δ/(2M))] − δ   for δ < 2M
+//	τ_opt = M                                                        otherwise
+//
+// where δ is the checkpoint write time and M the MTBF.
+func (p Params) OptimalInterval() (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	delta := p.CheckpointHours()
+	m := p.MTBFHours
+	if delta >= 2*m {
+		return m, nil
+	}
+	x := math.Sqrt(delta / (2 * m))
+	tau := math.Sqrt(2*delta*m)*(1+x/3+x*x/9) - delta
+	if tau <= 0 {
+		tau = delta
+	}
+	return tau, nil
+}
+
+// Efficiency is the outcome of the checkpoint/restart analysis for one
+// configuration.
+type Efficiency struct {
+	// OptimalIntervalHours is the compute time between checkpoints.
+	OptimalIntervalHours float64
+	// CheckpointHours is the time to write one checkpoint.
+	CheckpointHours float64
+	// CheckpointOverhead is the fraction of wall-clock time spent writing
+	// checkpoints.
+	CheckpointOverhead float64
+	// ReworkOverhead is the fraction lost to recomputing work destroyed by
+	// interrupts (half an interval on average, plus the restart time).
+	ReworkOverhead float64
+	// Utilization is the fraction of wall-clock time doing useful
+	// computation: 1 - CheckpointOverhead - ReworkOverhead.
+	Utilization float64
+}
+
+// Analyze runs the first-order checkpoint/restart analysis at the optimal
+// interval.
+func Analyze(p Params) (Efficiency, error) {
+	tau, err := p.OptimalInterval()
+	if err != nil {
+		return Efficiency{}, err
+	}
+	delta := p.CheckpointHours()
+	m := p.MTBFHours
+
+	// Fraction of each checkpoint period spent writing the checkpoint.
+	checkpointOverhead := delta / (tau + delta)
+	// Interrupts arrive at rate 1/M; each destroys on average half an
+	// interval of work plus the restart time.
+	reworkPerInterrupt := (tau+delta)/2 + p.RestartHours
+	reworkOverhead := reworkPerInterrupt / m
+	if reworkOverhead > 1 {
+		reworkOverhead = 1
+	}
+	util := 1 - checkpointOverhead - reworkOverhead
+	if util < 0 {
+		util = 0
+	}
+	return Efficiency{
+		OptimalIntervalHours: tau,
+		CheckpointHours:      delta,
+		CheckpointOverhead:   checkpointOverhead,
+		ReworkOverhead:       reworkOverhead,
+		Utilization:          util,
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Coupling to the CFS model
+// ---------------------------------------------------------------------------
+
+// ClusterParams derives checkpoint-analysis parameters from a cluster
+// configuration and its measured dependability.
+type ClusterParams struct {
+	// MemoryPerNodeBytes is the application state per compute node that must
+	// be checkpointed (ABE nodes have 8-16 GB of RAM; a typical checkpoint
+	// writes a large fraction of it).
+	MemoryPerNodeBytes float64
+	// PerOSSBandwidthBytesPerSec is the sustained write bandwidth of one OSS
+	// fail-over pair into its storage.
+	PerOSSBandwidthBytesPerSec float64
+	// NodeMTBFHours is the per-compute-node MTBF for failures that kill the
+	// job (independent of the CFS).
+	NodeMTBFHours float64
+	// RestartHours is the restart/reload time after an interrupt.
+	RestartHours float64
+}
+
+// DefaultClusterParams returns parameters representative of the ABE era:
+// half of each node's 8 GB of RAM checkpointed, ~500 MB/s sustained per OSS
+// pair, a per-node MTBF of 15 years (job-killing failures only), and a
+// 0.25 h restart.
+func DefaultClusterParams() ClusterParams {
+	return ClusterParams{
+		MemoryPerNodeBytes:         4 * 1 << 30,
+		PerOSSBandwidthBytesPerSec: 500 * 1 << 20,
+		NodeMTBFHours:              15 * 8760,
+		RestartHours:               0.25,
+	}
+}
+
+// Validate checks the parameters.
+func (cp ClusterParams) Validate() error {
+	if !(cp.MemoryPerNodeBytes > 0) || !(cp.PerOSSBandwidthBytesPerSec > 0) || !(cp.NodeMTBFHours > 0) || cp.RestartHours < 0 {
+		return fmt.Errorf("%w: %+v", ErrBadParameters, cp)
+	}
+	return nil
+}
+
+// ForCluster derives Params for an application spanning every compute node
+// of cfg, with the CFS contribution to the interrupt rate taken from the
+// measured CFS availability (an unavailable CFS stalls or kills the job the
+// same way a node crash does, because the application cannot write its
+// checkpoint or its output).
+func ForCluster(cfg abe.Config, measures abe.Measures, cp ClusterParams) (Params, error) {
+	if err := cp.Validate(); err != nil {
+		return Params{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Params{}, err
+	}
+	nodes := float64(cfg.Workload.ComputeNodes)
+	checkpointBytes := cp.MemoryPerNodeBytes * nodes
+	bandwidth := cp.PerOSSBandwidthBytesPerSec * float64(cfg.ScratchOSSPairs)
+
+	// Interrupt rate: node failures across the whole job plus CFS-visible
+	// outages. The CFS outage rate is approximated from its unavailability
+	// and the mean outage duration implied by the model's repair times.
+	nodeRate := nodes / cp.NodeMTBFHours
+	cfsUnavail := 1 - measures.CFSAvailability
+	meanOutageHours := (cfg.OSS.HWRepairLoHours + cfg.OSS.HWRepairHiHours) / 4 // outage ends at the first repair of the pair
+	if meanOutageHours <= 0 {
+		meanOutageHours = 12
+	}
+	cfsRate := 0.0
+	if cfsUnavail > 0 {
+		cfsRate = cfsUnavail / meanOutageHours
+	}
+	totalRate := nodeRate + cfsRate
+	if totalRate <= 0 {
+		return Params{}, fmt.Errorf("%w: non-positive interrupt rate", ErrBadParameters)
+	}
+	return Params{
+		CheckpointBytes:      checkpointBytes,
+		BandwidthBytesPerSec: bandwidth,
+		MTBFHours:            1 / totalRate,
+		RestartHours:         cp.RestartHours,
+	}, nil
+}

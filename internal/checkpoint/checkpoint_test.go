@@ -1,0 +1,214 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/abe"
+	"repro/internal/san"
+)
+
+func validParams() Params {
+	return Params{
+		CheckpointBytes:      10 * 1 << 40, // 10 TiB
+		BandwidthBytesPerSec: 3 * 1 << 30,  // 3 GiB/s
+		MTBFHours:            24,
+		RestartHours:         0.25,
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := validParams().Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*Params){
+		"zero checkpoint": func(p *Params) { p.CheckpointBytes = 0 },
+		"zero bandwidth":  func(p *Params) { p.BandwidthBytesPerSec = 0 },
+		"zero mtbf":       func(p *Params) { p.MTBFHours = 0 },
+		"negative restart": func(p *Params) {
+			p.RestartHours = -1
+		},
+	} {
+		p := validParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestCheckpointHours(t *testing.T) {
+	p := validParams()
+	want := p.CheckpointBytes / p.BandwidthBytesPerSec / 3600
+	if got := p.CheckpointHours(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CheckpointHours = %v, want %v", got, want)
+	}
+}
+
+func TestOptimalIntervalFirstOrder(t *testing.T) {
+	// For delta << M, Daly's interval approaches sqrt(2*delta*M).
+	p := Params{CheckpointBytes: 1 << 30, BandwidthBytesPerSec: 1 << 30, MTBFHours: 1000, RestartHours: 0}
+	delta := p.CheckpointHours() // ~2.78e-4 h
+	tau, err := p.OptimalInterval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstOrder := math.Sqrt(2 * delta * p.MTBFHours)
+	if math.Abs(tau-firstOrder)/firstOrder > 0.02 {
+		t.Errorf("tau = %v, want ~%v (first-order)", tau, firstOrder)
+	}
+}
+
+func TestOptimalIntervalDegenerateRegime(t *testing.T) {
+	// When writing a checkpoint takes longer than 2*MTBF the analysis clamps
+	// the interval to the MTBF.
+	p := Params{CheckpointBytes: 1 << 40, BandwidthBytesPerSec: 1 << 20, MTBFHours: 10, RestartHours: 0}
+	tau, err := p.OptimalInterval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau != p.MTBFHours {
+		t.Errorf("tau = %v, want MTBF %v in the degenerate regime", tau, p.MTBFHours)
+	}
+	bad := Params{}
+	if _, err := bad.OptimalInterval(); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestAnalyzeOverheadsAndBounds(t *testing.T) {
+	eff, err := Analyze(validParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.Utilization <= 0 || eff.Utilization >= 1 {
+		t.Errorf("utilization = %v, want in (0,1)", eff.Utilization)
+	}
+	sum := eff.Utilization + eff.CheckpointOverhead + eff.ReworkOverhead
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("overheads + utilization = %v, want 1", sum)
+	}
+	if eff.OptimalIntervalHours <= 0 || eff.CheckpointHours <= 0 {
+		t.Errorf("degenerate efficiency: %+v", eff)
+	}
+	if _, err := Analyze(Params{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestAnalyzeMoreBandwidthHelps(t *testing.T) {
+	slow := validParams()
+	fast := validParams()
+	fast.BandwidthBytesPerSec *= 10
+	slowEff, err := Analyze(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastEff, err := Analyze(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(fastEff.Utilization > slowEff.Utilization) {
+		t.Errorf("more CFS bandwidth should raise utilization: %v vs %v", fastEff.Utilization, slowEff.Utilization)
+	}
+}
+
+func TestClusterParamsValidate(t *testing.T) {
+	if err := DefaultClusterParams().Validate(); err != nil {
+		t.Errorf("default cluster params invalid: %v", err)
+	}
+	bad := DefaultClusterParams()
+	bad.PerOSSBandwidthBytesPerSec = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+}
+
+func TestForClusterScalingReproducesCheckpointWall(t *testing.T) {
+	// The motivation cited by the paper: on very large systems a dominant
+	// share of time goes to checkpointing and rework. Evaluate the ABE and
+	// petascale configurations (cheap simulation settings) and check that
+	// utilization degrades with scale and that the checkpoint+rework share
+	// at petascale is substantial.
+	opts := san.Options{Mission: 4380, Replications: 8, Seed: 5}
+	abeCfg := abe.ABE()
+	abeMeasures, err := abe.Evaluate(abeCfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	petaCfg := abe.Petascale()
+	petaMeasures, err := abe.Evaluate(petaCfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := DefaultClusterParams()
+
+	abeParams, err := ForCluster(abeCfg, abeMeasures, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	petaParams, err := ForCluster(petaCfg, petaMeasures, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Petascale writes a much larger state over only 10x the bandwidth and
+	// is interrupted more often.
+	if !(petaParams.CheckpointBytes > abeParams.CheckpointBytes*20) {
+		t.Errorf("petascale checkpoint %v should dwarf ABE %v", petaParams.CheckpointBytes, abeParams.CheckpointBytes)
+	}
+	if !(petaParams.MTBFHours < abeParams.MTBFHours) {
+		t.Errorf("petascale MTBF %v should be below ABE %v", petaParams.MTBFHours, abeParams.MTBFHours)
+	}
+
+	abeEff, err := Analyze(abeParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	petaEff, err := Analyze(petaParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(petaEff.Utilization < abeEff.Utilization) {
+		t.Errorf("utilization should drop with scale: %v vs %v", petaEff.Utilization, abeEff.Utilization)
+	}
+	if lost := 1 - petaEff.Utilization; lost < 0.2 {
+		t.Errorf("petascale checkpoint+rework share = %v, expected a substantial fraction", lost)
+	}
+	// Error paths.
+	if _, err := ForCluster(abe.Config{}, abeMeasures, cp); err == nil {
+		t.Error("invalid cluster config accepted")
+	}
+	badCP := cp
+	badCP.MemoryPerNodeBytes = 0
+	if _, err := ForCluster(abeCfg, abeMeasures, badCP); err == nil {
+		t.Error("invalid cluster params accepted")
+	}
+}
+
+// Property: for any valid parameters the efficiency decomposition stays in
+// bounds and sums to one.
+func TestQuickEfficiencyBounds(t *testing.T) {
+	f := func(ckptGB, bwMBs, mtbfSeed uint16, restartSeed uint8) bool {
+		p := Params{
+			CheckpointBytes:      float64(ckptGB%4000+1) * float64(1<<30),
+			BandwidthBytesPerSec: float64(bwMBs%8000+1) * float64(1<<20),
+			MTBFHours:            float64(mtbfSeed%2000) + 0.5,
+			RestartHours:         float64(restartSeed % 4),
+		}
+		eff, err := Analyze(p)
+		if err != nil {
+			return false
+		}
+		if eff.Utilization < 0 || eff.Utilization > 1 {
+			return false
+		}
+		if eff.CheckpointOverhead < 0 || eff.CheckpointOverhead > 1 || eff.ReworkOverhead < 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,347 @@
+// Package cluster provides the generic dependability building blocks that
+// the ABE cluster-file-system model is composed from: repairable components,
+// fail-over pairs with hardware and software failure processes, correlated
+// failure propagation between the members of a pair, and optional
+// standby-spare take-over. Each builder contributes an atomic SAN submodel
+// (places, activities, gates) and maintains shared counter places so that
+// system-level reward predicates stay cheap to evaluate.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/san"
+)
+
+// Validation errors.
+var ErrBadConfig = errors.New("cluster: invalid configuration")
+
+// RepairableConfig describes a single repairable component with an
+// exponential time to failure and an arbitrary repair-time distribution.
+type RepairableConfig struct {
+	// MTBFHours is the mean time between failures.
+	MTBFHours float64
+	// Repair is the repair-time distribution.
+	Repair dist.Distribution
+}
+
+// Validate checks the configuration.
+func (c RepairableConfig) Validate() error {
+	if !(c.MTBFHours > 0) || c.Repair == nil {
+		return fmt.Errorf("%w: repairable %+v", ErrBadConfig, c)
+	}
+	return nil
+}
+
+// BuildRepairable adds a two-state repairable component under prefix. While
+// the component is failed it holds one token in the shared outage counter
+// place downCounter, so a system is up when all its components' shared
+// counters read zero.
+func BuildRepairable(m *san.Model, prefix string, cfg RepairableConfig, downCounter *san.Place) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if downCounter == nil {
+		return fmt.Errorf("%w: nil down counter", ErrBadConfig)
+	}
+	life, err := dist.NewExponentialFromMean(cfg.MTBFHours)
+	if err != nil {
+		return err
+	}
+	up, err := m.AddPlaceErr(san.Qualify(prefix, "up"), 1)
+	if err != nil {
+		return err
+	}
+	down, err := m.AddPlaceErr(san.Qualify(prefix, "down"), 0)
+	if err != nil {
+		return err
+	}
+	m.AddTimedActivity(san.Qualify(prefix, "fail"), life).
+		AddInputArc(up, 1).
+		AddOutputArc(down, 1).
+		AddOutputArc(downCounter, 1)
+	m.AddTimedActivity(san.Qualify(prefix, "repair"), cfg.Repair).
+		AddInputArc(down, 1).
+		AddInputArc(downCounter, 1).
+		AddOutputArc(up, 1)
+	return nil
+}
+
+// PairConfig describes an OSS-style fail-over pair: two servers, each
+// subject to hardware and software failures. The pair causes a visible
+// outage only while both members are down. A failure propagates to the
+// partner with probability PropagationProb (the paper's correlated-failure
+// parameter p). Optionally a standby spare masks the outage after an
+// activation delay (state reconstruction / fail-over time).
+type PairConfig struct {
+	// HWMTBFHours is the per-server mean time between hardware failures.
+	// The paper's Table 5 rate of 1-2 per 720 h is read per fail-over pair,
+	// i.e. each server fails at half that rate.
+	HWMTBFHours float64
+	// HWRepair is the hardware repair distribution (12-36 h, vendor parts).
+	HWRepair dist.Distribution
+	// SWMTBFHours is the per-server mean time between software failures
+	// (Lustre/fsck class errors).
+	SWMTBFHours float64
+	// SWRepair is the software repair distribution (2-6 h).
+	SWRepair dist.Distribution
+	// PropagationProb is the probability that a failure propagates to the
+	// partner server (correlated failure), taking the whole pair down.
+	PropagationProb float64
+	// Spare enables a standby-spare server that takes over a failed pair
+	// after SpareActivationHours.
+	Spare bool
+	// SpareActivationHours is the deterministic state-transfer time before
+	// the spare can serve (ignored unless Spare is true).
+	SpareActivationHours float64
+}
+
+// Validate checks the configuration.
+func (c PairConfig) Validate() error {
+	if !(c.HWMTBFHours > 0) || !(c.SWMTBFHours > 0) || c.HWRepair == nil || c.SWRepair == nil {
+		return fmt.Errorf("%w: pair %+v", ErrBadConfig, c)
+	}
+	if c.PropagationProb < 0 || c.PropagationProb > 1 {
+		return fmt.Errorf("%w: propagation probability %v", ErrBadConfig, c.PropagationProb)
+	}
+	if c.Spare && !(c.SpareActivationHours > 0) {
+		return fmt.Errorf("%w: spare enabled with activation time %v", ErrBadConfig, c.SpareActivationHours)
+	}
+	return nil
+}
+
+// PairPlaces exposes the internal state of one fail-over pair for tests and
+// detailed rewards.
+type PairPlaces struct {
+	// UpCount holds the number of currently working servers (0-2).
+	UpCount *san.Place
+	// Masked holds 1 while a spare is standing in for the failed pair.
+	Masked *san.Place
+	// SpareAvailable holds 1 while the spare is idle (only when Spare).
+	SpareAvailable *san.Place
+}
+
+// BuildFailoverPair adds one fail-over pair under prefix. While the pair is
+// effectively down (both members failed and no spare active) it holds one
+// token in the shared counter place pairsOut.
+func BuildFailoverPair(m *san.Model, prefix string, cfg PairConfig, pairsOut *san.Place) (*PairPlaces, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pairsOut == nil {
+		return nil, fmt.Errorf("%w: nil pairs-out counter", ErrBadConfig)
+	}
+	hwLife, err := dist.NewExponentialFromMean(cfg.HWMTBFHours)
+	if err != nil {
+		return nil, err
+	}
+	swLife, err := dist.NewExponentialFromMean(cfg.SWMTBFHours)
+	if err != nil {
+		return nil, err
+	}
+
+	pp := &PairPlaces{}
+	pp.UpCount, err = m.AddPlaceErr(san.Qualify(prefix, "up_count"), 2)
+	if err != nil {
+		return nil, err
+	}
+	pp.Masked, err = m.AddPlaceErr(san.Qualify(prefix, "masked"), 0)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Spare {
+		pp.SpareAvailable, err = m.AddPlaceErr(san.Qualify(prefix, "spare_available"), 1)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// takeDown marks one server's transition from up to down in the pair
+	// bookkeeping: decrement the up count and, if the pair just became fully
+	// down and is not masked by a spare, record the outage.
+	takeDown := func(mw san.MarkingWriter) {
+		mw.Add(pp.UpCount, -1)
+		if mw.Tokens(pp.UpCount) == 0 && mw.Tokens(pp.Masked) == 0 {
+			mw.Add(pairsOut, 1)
+		}
+	}
+	// bringUp marks one server's repair: if the pair was fully down, either
+	// clear the outage or release the spare that was masking it.
+	bringUp := func(mw san.MarkingWriter) {
+		if mw.Tokens(pp.UpCount) == 0 {
+			if mw.Tokens(pp.Masked) == 1 {
+				mw.SetTokens(pp.Masked, 0)
+				if pp.SpareAvailable != nil {
+					mw.SetTokens(pp.SpareAvailable, 1)
+				}
+			} else {
+				mw.Add(pairsOut, -1)
+			}
+		}
+		mw.Add(pp.UpCount, 1)
+	}
+
+	type serverPlaces struct {
+		up, downHW, downSW *san.Place
+	}
+	servers := make([]serverPlaces, 2)
+
+	err = san.Replicate(m, san.Qualify(prefix, "server"), 2, func(m *san.Model, sPrefix string, idx int) error {
+		up, err := m.AddPlaceErr(san.Qualify(sPrefix, "up"), 1)
+		if err != nil {
+			return err
+		}
+		downHW, err := m.AddPlaceErr(san.Qualify(sPrefix, "down_hw"), 0)
+		if err != nil {
+			return err
+		}
+		downSW, err := m.AddPlaceErr(san.Qualify(sPrefix, "down_sw"), 0)
+		if err != nil {
+			return err
+		}
+		servers[idx] = serverPlaces{up: up, downHW: downHW, downSW: downSW}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Second pass: activities, now that both servers' places exist so the
+	// correlated case can reach the partner.
+	for idx := 0; idx < 2; idx++ {
+		self := servers[idx]
+		partner := servers[1-idx]
+		sPrefix := fmt.Sprintf("%s[%d]", san.Qualify(prefix, "server"), idx)
+
+		addFailure := func(kind string, life dist.Distribution, downPlace *san.Place, partnerDown *san.Place) {
+			act := m.AddTimedActivity(san.Qualify(sPrefix, kind+"_fail"), life).AddInputArc(self.up, 1)
+			p := cfg.PropagationProb
+			// Case 1: isolated failure of this server.
+			act.AddCase(san.Case{
+				Probability: func(san.MarkingReader) float64 { return 1 - p },
+				OutputArcs:  []san.Arc{{Place: downPlace, Mult: 1}},
+				OutputGates: []*san.OutputGate{{
+					Name:      san.Qualify(sPrefix, kind+"_fail_og"),
+					Transform: takeDown,
+				}},
+			})
+			// Case 2: correlated failure that propagates to the partner.
+			act.AddCase(san.Case{
+				Probability: func(san.MarkingReader) float64 { return p },
+				OutputArcs:  []san.Arc{{Place: downPlace, Mult: 1}},
+				OutputGates: []*san.OutputGate{{
+					Name: san.Qualify(sPrefix, kind+"_fail_corr_og"),
+					Transform: func(mw san.MarkingWriter) {
+						takeDown(mw)
+						if mw.Tokens(partner.up) > 0 {
+							mw.Add(partner.up, -1)
+							mw.Add(partnerDown, 1)
+							takeDown(mw)
+						}
+					},
+				}},
+			})
+		}
+		addFailure("hw", hwLife, self.downHW, partner.downHW)
+		addFailure("sw", swLife, self.downSW, partner.downSW)
+
+		m.AddTimedActivity(san.Qualify(sPrefix, "hw_repair"), cfg.HWRepair).
+			AddInputArc(self.downHW, 1).
+			AddOutputArc(self.up, 1).
+			AddOutputGate(&san.OutputGate{Name: san.Qualify(sPrefix, "hw_repair_og"), Transform: bringUp})
+		m.AddTimedActivity(san.Qualify(sPrefix, "sw_repair"), cfg.SWRepair).
+			AddInputArc(self.downSW, 1).
+			AddOutputArc(self.up, 1).
+			AddOutputGate(&san.OutputGate{Name: san.Qualify(sPrefix, "sw_repair_og"), Transform: bringUp})
+	}
+
+	if cfg.Spare {
+		activation, err := dist.NewDeterministic(cfg.SpareActivationHours)
+		if err != nil {
+			return nil, err
+		}
+		m.AddTimedActivity(san.Qualify(prefix, "spare_activate"), activation).
+			AddInputArc(pp.SpareAvailable, 1).
+			AddInputGate(&san.InputGate{
+				Name:  san.Qualify(prefix, "spare_needed"),
+				Reads: []*san.Place{pp.UpCount, pp.Masked},
+				Enabled: func(mr san.MarkingReader) bool {
+					return mr.Tokens(pp.UpCount) == 0 && mr.Tokens(pp.Masked) == 0
+				},
+			}).
+			AddOutputGate(&san.OutputGate{
+				Name: san.Qualify(prefix, "spare_activate_og"),
+				Transform: func(mw san.MarkingWriter) {
+					mw.SetTokens(pp.Masked, 1)
+					mw.Add(pairsOut, -1)
+				},
+			})
+	}
+	return pp, nil
+}
+
+// TransientConfig describes a source of transient errors (intermittent
+// network faults between the compute nodes and the CFS). Transient errors do
+// not take the CFS down for long, but each one kills the jobs that depended
+// on the affected components.
+type TransientConfig struct {
+	// EventsPerHour is the rate of transient error events.
+	EventsPerHour float64
+	// OutageLoHours and OutageHiHours bound the short unavailability window
+	// each event induces (minutes, expressed in hours).
+	OutageLoHours float64
+	OutageHiHours float64
+}
+
+// Validate checks the configuration.
+func (c TransientConfig) Validate() error {
+	if !(c.EventsPerHour > 0) || !(c.OutageLoHours > 0) || c.OutageHiHours < c.OutageLoHours {
+		return fmt.Errorf("%w: transient %+v", ErrBadConfig, c)
+	}
+	return nil
+}
+
+// TransientPlaces exposes the transient-error submodel.
+type TransientPlaces struct {
+	// Active holds 1 while a transient error is in progress.
+	Active *san.Place
+	// EventActivity is the name of the activity that fires once per
+	// transient error event, for impulse rewards.
+	EventActivity string
+}
+
+// BuildTransientSource adds a transient-error process under prefix. Each
+// event raises Active for a short uniformly distributed window and then
+// clears it.
+func BuildTransientSource(m *san.Model, prefix string, cfg TransientConfig) (*TransientPlaces, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	inter, err := dist.NewExponentialFromMean(1 / cfg.EventsPerHour)
+	if err != nil {
+		return nil, err
+	}
+	outage, err := dist.NewUniform(cfg.OutageLoHours, cfg.OutageHiHours)
+	if err != nil {
+		return nil, err
+	}
+	tp := &TransientPlaces{}
+	tp.Active, err = m.AddPlaceErr(san.Qualify(prefix, "active"), 0)
+	if err != nil {
+		return nil, err
+	}
+	idle, err := m.AddPlaceErr(san.Qualify(prefix, "idle"), 1)
+	if err != nil {
+		return nil, err
+	}
+	tp.EventActivity = san.Qualify(prefix, "event")
+	m.AddTimedActivity(tp.EventActivity, inter).
+		AddInputArc(idle, 1).
+		AddOutputArc(tp.Active, 1)
+	m.AddTimedActivity(san.Qualify(prefix, "clear"), outage).
+		AddInputArc(tp.Active, 1).
+		AddOutputArc(idle, 1)
+	return tp, nil
+}

@@ -1,0 +1,135 @@
+// Package core assembles the paper's primary contribution as a reusable
+// dependability-analysis workflow: calibrate the stochastic model from
+// failure logs, evaluate the cluster file system design at its current and
+// future scale, and compare design alternatives (standby-spare OSS, RAID
+// geometry, disk quality) so storage architects can make informed choices.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/abe"
+	"repro/internal/loganalysis"
+	"repro/internal/loggen"
+	"repro/internal/report"
+	"repro/internal/san"
+)
+
+// ErrNoDesigns is returned when a comparison is requested over no designs.
+var ErrNoDesigns = errors.New("core: no designs to compare")
+
+// DesignChoice is one named configuration under evaluation.
+type DesignChoice struct {
+	Name   string
+	Config abe.Config
+}
+
+// CalibrateFromLogs applies the rates extracted from failure logs to a base
+// configuration, mirroring the paper's two-pronged approach: log analysis
+// feeds the stochastic model. The returned configuration uses the fitted
+// disk Weibull shape/MTBF and the observed job rate; the derived rates are
+// returned so callers can report them (Table 5's "obtained from log file
+// analysis" entries).
+func CalibrateFromLogs(logs *loggen.Logs, base abe.Config, diskPopulation int) (abe.Config, loganalysis.DerivedRates, error) {
+	rates, err := loganalysis.DeriveRates(logs, diskPopulation)
+	if err != nil {
+		return abe.Config{}, loganalysis.DerivedRates{}, fmt.Errorf("core: calibration: %w", err)
+	}
+	cfg := base
+	if rates.DiskWeibullShape > 0 {
+		cfg.Storage.Disk.ShapeBeta = rates.DiskWeibullShape
+	}
+	if rates.DiskMTBFHours > 0 {
+		cfg.Storage.Disk.MTBFHours = rates.DiskMTBFHours
+	}
+	if rates.JobsPerHour > 0 {
+		cfg.Workload.JobsPerHour = rates.JobsPerHour
+	}
+	if err := cfg.Validate(); err != nil {
+		return abe.Config{}, loganalysis.DerivedRates{}, fmt.Errorf("core: calibrated configuration invalid: %w", err)
+	}
+	return cfg, rates, nil
+}
+
+// CompareDesigns evaluates each design and returns a comparison table plus
+// the raw measures, in input order.
+func CompareDesigns(designs []DesignChoice, opts san.Options) (report.Table, []abe.Measures, error) {
+	if len(designs) == 0 {
+		return report.Table{}, nil, ErrNoDesigns
+	}
+	table := report.Table{
+		Title: "Design comparison",
+		Headers: []string{
+			"Design", "Storage availability", "CFS availability", "Cluster utility", "Disks replaced/week",
+		},
+	}
+	measures := make([]abe.Measures, 0, len(designs))
+	for _, d := range designs {
+		m, err := abe.Evaluate(d.Config, opts)
+		if err != nil {
+			return report.Table{}, nil, fmt.Errorf("core: evaluating %q: %w", d.Name, err)
+		}
+		measures = append(measures, m)
+		table.AddRow(d.Name,
+			fmt.Sprintf("%.5f", m.StorageAvailability),
+			fmt.Sprintf("%.4f", m.CFSAvailability),
+			fmt.Sprintf("%.4f", m.ClusterUtility),
+			fmt.Sprintf("%.2f", m.DiskReplacementsPerWeek),
+		)
+	}
+	return table, measures, nil
+}
+
+// ScalingStudy evaluates the base configuration at each scale factor and
+// returns the availability/utility curves (the core of Figure 4) plus the
+// raw measures.
+func ScalingStudy(base abe.Config, factors []float64, opts san.Options) (report.Figure, []abe.Measures, error) {
+	if len(factors) == 0 {
+		return report.Figure{}, nil, errors.New("core: no scale factors")
+	}
+	fig := report.Figure{
+		Title:  fmt.Sprintf("Scaling study of %s", base.Name),
+		XLabel: "scale factor",
+		YLabel: "availability / utility",
+	}
+	measures := make([]abe.Measures, 0, len(factors))
+	for _, f := range factors {
+		m, err := abe.Evaluate(base.ScaledBy(f), opts)
+		if err != nil {
+			return report.Figure{}, nil, fmt.Errorf("core: scale %v: %w", f, err)
+		}
+		measures = append(measures, m)
+		fig.AddPoint("Storage-availability", report.Point{X: f, Y: m.StorageAvailability})
+		fig.AddPoint("CFS-Availability", report.Point{X: f, Y: m.CFSAvailability})
+		fig.AddPoint("CU", report.Point{X: f, Y: m.ClusterUtility})
+	}
+	return fig, measures, nil
+}
+
+// Recommendation is a qualitative design finding derived from measured
+// differences, phrased the way the paper's conclusions are.
+type Recommendation struct {
+	Finding string
+	Delta   float64
+}
+
+// RecommendSpareOSS quantifies the paper's standby-spare design alternative
+// at the given configuration: it evaluates the configuration with and
+// without a spare OSS and reports the availability gain.
+func RecommendSpareOSS(cfg abe.Config, opts san.Options) (Recommendation, error) {
+	without, err := abe.Evaluate(cfg.WithSpareOSS(false), opts)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	with, err := abe.Evaluate(cfg.WithSpareOSS(true), opts)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	delta := with.CFSAvailability - without.CFSAvailability
+	return Recommendation{
+		Finding: fmt.Sprintf("a standby-spare OSS improves CFS availability by %.1f%% (%.4f -> %.4f) at %s scale",
+			delta*100, without.CFSAvailability, with.CFSAvailability, cfg.Name),
+		Delta: delta,
+	}, nil
+}

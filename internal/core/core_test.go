@@ -1,0 +1,104 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/abe"
+	"repro/internal/loggen"
+	"repro/internal/san"
+)
+
+// quickOpts keeps simulation-backed tests fast.
+func quickOpts() san.Options {
+	return san.Options{Mission: 4380, Replications: 8, Seed: 7}
+}
+
+func TestCalibrateFromLogs(t *testing.T) {
+	logs, err := loggen.Generate(loggen.ABEConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, rates, err := CalibrateFromLogs(logs, abe.ABE(), 480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Storage.Disk.ShapeBeta != rates.DiskWeibullShape {
+		t.Errorf("calibrated shape %v != derived %v", cfg.Storage.Disk.ShapeBeta, rates.DiskWeibullShape)
+	}
+	if cfg.Storage.Disk.MTBFHours != rates.DiskMTBFHours {
+		t.Errorf("calibrated MTBF %v != derived %v", cfg.Storage.Disk.MTBFHours, rates.DiskMTBFHours)
+	}
+	if cfg.Workload.JobsPerHour != rates.JobsPerHour {
+		t.Errorf("calibrated job rate %v != derived %v", cfg.Workload.JobsPerHour, rates.JobsPerHour)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("calibrated config invalid: %v", err)
+	}
+	if _, _, err := CalibrateFromLogs(nil, abe.ABE(), 480); err == nil {
+		t.Error("nil logs accepted")
+	}
+}
+
+func TestCompareDesigns(t *testing.T) {
+	designs := []DesignChoice{
+		{Name: "ABE (8+2)", Config: abe.ABE()},
+		{Name: "ABE with spare OSS", Config: abe.ABE().WithSpareOSS(true)},
+	}
+	table, measures, err := CompareDesigns(designs, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(measures) != 2 {
+		t.Fatalf("measures = %d, want 2", len(measures))
+	}
+	out := table.Render()
+	if !strings.Contains(out, "ABE (8+2)") || !strings.Contains(out, "spare OSS") {
+		t.Errorf("comparison table missing designs:\n%s", out)
+	}
+	if _, _, err := CompareDesigns(nil, quickOpts()); err != ErrNoDesigns {
+		t.Errorf("empty designs error = %v, want ErrNoDesigns", err)
+	}
+	bad := []DesignChoice{{Name: "bad", Config: abe.Config{}}}
+	if _, _, err := CompareDesigns(bad, quickOpts()); err == nil {
+		t.Error("invalid design accepted")
+	}
+}
+
+func TestScalingStudy(t *testing.T) {
+	fig, measures, err := ScalingStudy(abe.ABE(), []float64{1, 5}, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(measures) != 2 {
+		t.Fatalf("measures = %d, want 2", len(measures))
+	}
+	cfs := fig.SeriesY("CFS-Availability")
+	if len(cfs) != 2 {
+		t.Fatalf("CFS series = %v", cfs)
+	}
+	if !(cfs[1] < cfs[0]) {
+		t.Errorf("availability should decrease with scale: %v", cfs)
+	}
+	if _, _, err := ScalingStudy(abe.ABE(), nil, quickOpts()); err == nil {
+		t.Error("empty factors accepted")
+	}
+}
+
+func TestRecommendSpareOSS(t *testing.T) {
+	// At petascale the paper finds ~3% improvement; with few replications we
+	// only require a positive, sensible delta and a non-empty finding.
+	rec, err := RecommendSpareOSS(abe.Petascale(), san.Options{Mission: 8760, Replications: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Delta <= 0 || rec.Delta > 0.1 {
+		t.Errorf("spare OSS delta = %v, want a small positive improvement", rec.Delta)
+	}
+	if !strings.Contains(rec.Finding, "standby-spare OSS") {
+		t.Errorf("finding = %q", rec.Finding)
+	}
+	if _, err := RecommendSpareOSS(abe.Config{}, quickOpts()); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

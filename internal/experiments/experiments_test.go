@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/raid"
+)
+
+// quick returns cheap options for CI-speed experiment runs.
+func quick() Options {
+	return Options{Quick: true, Replications: 6, MissionHours: 4380, Seed: 5}
+}
+
+func TestTable1Outages(t *testing.T) {
+	table, err := Table1Outages(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := table.Render()
+	if !strings.Contains(out, "Availability") {
+		t.Errorf("Table 1 missing availability row:\n%s", out)
+	}
+	if !strings.Contains(out, raidCauseAny(out)) {
+		t.Errorf("Table 1 has no outage cause rows:\n%s", out)
+	}
+	if len(table.Rows) < 3 {
+		t.Errorf("Table 1 has %d rows, want at least a few outages", len(table.Rows))
+	}
+}
+
+// raidCauseAny returns one of the known causes present in the output, or a
+// string that will fail the containment check.
+func raidCauseAny(out string) string {
+	for _, c := range []string{"I/O hardware", "File system", "Network", "Batch system"} {
+		if strings.Contains(out, c) {
+			return c
+		}
+	}
+	return "<<no cause found>>"
+}
+
+func TestTable2MountFailures(t *testing.T) {
+	table, err := Table2MountFailures(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) == 0 {
+		t.Error("Table 2 empty")
+	}
+}
+
+func TestTable3JobStats(t *testing.T) {
+	table, err := Table3JobStats(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := table.Render()
+	for _, want := range []string{"Total jobs submitted", "transient network errors", "other/file system errors"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable4DiskSurvival(t *testing.T) {
+	table, err := Table4DiskSurvival(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := table.Render()
+	for _, want := range []string{"Weibull shape (MLE)", "Implied MTBF", "Failures per week"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 4 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable5Parameters(t *testing.T) {
+	out := Table5Parameters().Render()
+	for _, want := range []string{"Disk MTBF", "Number of DDN", "1200", "32000", "2-20", "8-80"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 5 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure1Composition(t *testing.T) {
+	out, err := Figure1Composition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Join(CLUSTER)", "SAN(CLIENT)", "Replicate(DDN_UNITS", "places=", "activities="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiskSeriesLabel(t *testing.T) {
+	s := DiskSeries{Shape: 0.7, AFRPercent: 2.92, Geometry: raid.TierGeometry{Data: 8, Parity: 2}, ReplaceHours: 4}
+	if got := s.Label(); got != "0.7,2.92,8+2,4" {
+		t.Errorf("Label = %q, want the paper's tuple format", got)
+	}
+}
+
+func TestFigure2StorageAvailability(t *testing.T) {
+	opts := quick()
+	fig, err := Figure2StorageAvailability(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != len(Figure2Series()) {
+		t.Fatalf("series = %d, want %d", len(fig.Series), len(Figure2Series()))
+	}
+	points := Figure2ScalePointsTB(true)
+	for _, s := range fig.Series {
+		if len(s.Points) != len(points) {
+			t.Errorf("series %q has %d points, want %d", s.Name, len(s.Points), len(points))
+		}
+		for _, p := range s.Points {
+			if p.Y < 0 || p.Y > 1 {
+				t.Errorf("series %q availability %v out of [0,1]", s.Name, p.Y)
+			}
+		}
+		// First data point (ABE scale) should be ~1 for every configuration,
+		// the paper's key Figure 2 observation.
+		if s.Points[0].Y < 0.999 {
+			t.Errorf("series %q ABE-scale availability = %v, want ~1", s.Name, s.Points[0].Y)
+		}
+	}
+}
+
+func TestFigure3DiskReplacement(t *testing.T) {
+	fig, err := Figure3DiskReplacement(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulated + analytic series per configuration.
+	if len(fig.Series) != 2*len(Figure3Series()) {
+		t.Fatalf("series = %d, want %d", len(fig.Series), 2*len(Figure3Series()))
+	}
+	// The ABE configuration at 480 disks must fall in the paper's observed
+	// 0-2 replacements per week; higher AFR must replace more disks; and the
+	// curves must grow with the number of disks.
+	abeSeries := fig.SeriesY("0.7,2.92,8+2,4")
+	if len(abeSeries) == 0 {
+		t.Fatal("ABE series missing")
+	}
+	if abeSeries[0] < 0 || abeSeries[0] > 2 {
+		t.Errorf("ABE replacements/week at 480 disks = %v, want 0-2", abeSeries[0])
+	}
+	if last := abeSeries[len(abeSeries)-1]; !(last > abeSeries[0]) {
+		t.Errorf("replacements should grow with disk count: %v", abeSeries)
+	}
+	high := fig.SeriesY("0.7,8.76,8+2,4")
+	low := fig.SeriesY("0.7,0.88,8+2,4")
+	if len(high) == 0 || len(low) == 0 {
+		t.Fatal("expected AFR series missing")
+	}
+	if !(high[len(high)-1] > low[len(low)-1]) {
+		t.Errorf("higher AFR should need more replacements: %v vs %v", high, low)
+	}
+}
+
+func TestFigure4AvailabilityAndCU(t *testing.T) {
+	fig, err := Figure4AvailabilityAndCU(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfs := fig.SeriesY("CFS-Availability")
+	storage := fig.SeriesY("Storage-availability")
+	cu := fig.SeriesY("CU")
+	spare := fig.SeriesY("CFS-Availability-spare-OSS")
+	if len(cfs) == 0 || len(storage) == 0 || len(cu) == 0 || len(spare) == 0 {
+		t.Fatalf("missing series: %+v", fig)
+	}
+	last := len(cfs) - 1
+	if !(cfs[last] < cfs[0]) {
+		t.Errorf("CFS availability should decrease with scale: %v", cfs)
+	}
+	if storage[last] < 0.99 {
+		t.Errorf("storage availability should stay ~1: %v", storage)
+	}
+	if !(cu[last] < cfs[last]) {
+		t.Errorf("CU should sit below CFS availability at petascale: %v vs %v", cu[last], cfs[last])
+	}
+	if !(spare[last] > cfs[last]) {
+		t.Errorf("spare OSS should improve petascale availability: %v vs %v", spare[last], cfs[last])
+	}
+}
+
+func TestAblationCorrelation(t *testing.T) {
+	fig, err := AblationCorrelation(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := fig.SeriesY("CFS-Availability")
+	if len(ys) < 3 {
+		t.Fatalf("ablation points = %d", len(ys))
+	}
+	if !(ys[len(ys)-1] < ys[0]) {
+		t.Errorf("higher propagation probability should reduce availability: %v", ys)
+	}
+}
+
+func TestAblationAnalyticVsSim(t *testing.T) {
+	table, err := AblationAnalyticVsSim(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 3 {
+		t.Errorf("rows = %d, want 3", len(table.Rows))
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	opts := quick()
+	for _, name := range []string{"table3", "table5", "figure1"} {
+		out, err := Run(name, opts)
+		if err != nil {
+			t.Errorf("Run(%q): %v", name, err)
+		}
+		if out == "" {
+			t.Errorf("Run(%q) produced no output", name)
+		}
+	}
+	if _, err := Run("bogus", opts); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if len(Names()) != 12 {
+		t.Errorf("Names() = %v", Names())
+	}
+}
+
+func TestExtensionCheckpoint(t *testing.T) {
+	table, err := ExtensionCheckpoint(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (ABE, 4x, petascale)", len(table.Rows))
+	}
+	out := table.Render()
+	for _, want := range []string{"ABE", "Petascale", "Utilization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extension table missing %q:\n%s", want, out)
+		}
+	}
+}

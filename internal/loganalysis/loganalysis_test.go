@@ -1,0 +1,254 @@
+package loganalysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/loggen"
+)
+
+func ts(day, hour int) time.Time {
+	return time.Date(2007, 7, day, hour, 0, 0, 0, time.UTC)
+}
+
+func TestParse(t *testing.T) {
+	log := `2007-07-21T23:03:00Z san lustre-cfs OUTAGE_START cause="I/O hardware"
+2007-07-22T12:00:00Z san lustre-cfs OUTAGE_END cause="I/O hardware"`
+	events, err := Parse(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Kind != loggen.OutageStart {
+		t.Fatalf("parsed %d events: %+v", len(events), events)
+	}
+}
+
+func TestAnalyzeOutagesTable1Style(t *testing.T) {
+	// Recreate the first rows of Table 1: an outage of 12.95 h and one of
+	// 18.2 h, plus a short file-system outage, inside a bounded window.
+	events := []loggen.Event{
+		{Time: ts(1, 0), Source: "san", Node: "lustre-cfs", Kind: loggen.DiskReplaced},
+		{Time: ts(21, 23), Source: "san", Node: "lustre-cfs", Kind: loggen.OutageStart, Attrs: map[string]string{"cause": loggen.CauseIOHardware}},
+		{Time: ts(22, 12), Source: "san", Node: "lustre-cfs", Kind: loggen.OutageEnd, Attrs: map[string]string{"cause": loggen.CauseIOHardware}},
+		{Time: ts(25, 1), Source: "san", Node: "lustre-cfs", Kind: loggen.OutageStart, Attrs: map[string]string{"cause": loggen.CauseFileSystem}},
+		{Time: ts(25, 3), Source: "san", Node: "lustre-cfs", Kind: loggen.OutageEnd, Attrs: map[string]string{"cause": loggen.CauseFileSystem}},
+		{Time: ts(31, 0), Source: "san", Node: "lustre-cfs", Kind: loggen.DiskReplaced},
+	}
+	report, err := AnalyzeOutages(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Outages) != 2 {
+		t.Fatalf("outages = %d, want 2", len(report.Outages))
+	}
+	if got := report.Outages[0].Hours(); math.Abs(got-13) > 1e-9 {
+		t.Errorf("first outage = %v h, want 13", got)
+	}
+	if math.Abs(report.DowntimeHours-15) > 1e-9 {
+		t.Errorf("downtime = %v, want 15", report.DowntimeHours)
+	}
+	window := ts(31, 0).Sub(ts(1, 0)).Hours()
+	wantAvail := 1 - 15/window
+	if math.Abs(report.Availability-wantAvail) > 1e-9 {
+		t.Errorf("availability = %v, want %v", report.Availability, wantAvail)
+	}
+	if report.DowntimeByCause[loggen.CauseIOHardware] != 13 || report.DowntimeByCause[loggen.CauseFileSystem] != 2 {
+		t.Errorf("downtime by cause = %+v", report.DowntimeByCause)
+	}
+}
+
+func TestAnalyzeOutagesCoalescesOverlapsAndOpenEnds(t *testing.T) {
+	events := []loggen.Event{
+		{Time: ts(1, 0), Source: "san", Node: "fabric", Kind: loggen.OutageStart, Attrs: map[string]string{"cause": loggen.CauseNetwork}},
+		// Second start for a different component while the first is ongoing.
+		{Time: ts(1, 2), Source: "san", Node: "ddn1", Kind: loggen.OutageStart, Attrs: map[string]string{"cause": loggen.CauseIOHardware}},
+		{Time: ts(1, 4), Source: "san", Node: "fabric", Kind: loggen.OutageEnd},
+		{Time: ts(1, 6), Source: "san", Node: "ddn1", Kind: loggen.OutageEnd},
+		// An outage that never ends before the window closes.
+		{Time: ts(2, 0), Source: "san", Node: "ddn2", Kind: loggen.OutageStart, Attrs: map[string]string{"cause": loggen.CauseIOHardware}},
+		{Time: ts(2, 12), Source: "san", Node: "other", Kind: loggen.DiskReplaced},
+	}
+	report, err := AnalyzeOutages(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Outages) != 3 {
+		t.Fatalf("outages = %d, want 3", len(report.Outages))
+	}
+	// Coalesced downtime: 00:00-06:00 (overlap merged) + 00:00-12:00 on day 2.
+	if math.Abs(report.DowntimeHours-18) > 1e-9 {
+		t.Errorf("coalesced downtime = %v, want 18", report.DowntimeHours)
+	}
+}
+
+func TestAnalyzeOutagesErrors(t *testing.T) {
+	if _, err := AnalyzeOutages(nil); err != ErrEmptyLog {
+		t.Errorf("empty log error = %v", err)
+	}
+	noOutages := []loggen.Event{{Time: ts(1, 0), Kind: loggen.DiskReplaced, Node: "d"}}
+	if _, err := AnalyzeOutages(noOutages); err == nil {
+		t.Error("log without outages accepted")
+	}
+}
+
+func TestAnalyzeMountFailures(t *testing.T) {
+	events := []loggen.Event{
+		{Time: ts(3, 10), Node: "c0001", Kind: loggen.MountFailure},
+		{Time: ts(3, 10).Add(5 * time.Minute), Node: "c0001", Kind: loggen.MountFailure}, // duplicate, same node same day
+		{Time: ts(3, 11), Node: "c0002", Kind: loggen.MountFailure},
+		{Time: ts(19, 2), Node: "c0500", Kind: loggen.MountFailure},
+		{Time: ts(19, 3), Node: "c0501", Kind: loggen.MountFailure},
+		{Time: ts(19, 4), Node: "c0502", Kind: loggen.MountFailure},
+		{Time: ts(20, 0), Node: "c0001", Kind: loggen.JobSubmit, Attrs: map[string]string{"job": "1"}},
+	}
+	days, err := AnalyzeMountFailures(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != 2 {
+		t.Fatalf("days = %d, want 2", len(days))
+	}
+	if days[0].Nodes != 2 {
+		t.Errorf("day 1 nodes = %d, want 2 (duplicate filtered)", days[0].Nodes)
+	}
+	if days[1].Nodes != 3 {
+		t.Errorf("day 2 nodes = %d, want 3", days[1].Nodes)
+	}
+	if _, err := AnalyzeMountFailures(nil); err != ErrEmptyLog {
+		t.Error("empty log accepted")
+	}
+}
+
+func TestAnalyzeJobsTable3Style(t *testing.T) {
+	var events []loggen.Event
+	addJob := func(day int, id string, status string) {
+		events = append(events,
+			loggen.Event{Time: ts(day, 1), Node: "c0001", Kind: loggen.JobSubmit, Attrs: map[string]string{"job": id}},
+			loggen.Event{Time: ts(day, 5), Node: "c0001", Kind: loggen.JobEnd, Attrs: map[string]string{"job": id, "status": status}},
+		)
+	}
+	for i := 0; i < 40; i++ {
+		addJob(1+i%20, "ok", loggen.JobOK)
+	}
+	for i := 0; i < 10; i++ {
+		addJob(1+i%20, "t", loggen.JobFailedTransient)
+	}
+	addJob(5, "f1", loggen.JobFailedFileSystem)
+	addJob(6, "f2", loggen.JobFailedFileSystem)
+
+	stats, err := AnalyzeJobs(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalJobs != 52 {
+		t.Errorf("total jobs = %d, want 52", stats.TotalJobs)
+	}
+	if stats.TransientFailures != 10 || stats.OtherFailures != 2 {
+		t.Errorf("failures = %d/%d, want 10/2", stats.TransientFailures, stats.OtherFailures)
+	}
+	if got := stats.FailureRatio(); math.Abs(got-5) > 1e-9 {
+		t.Errorf("failure ratio = %v, want 5 (the paper's transient:other ratio)", got)
+	}
+	if got := stats.ClusterUtility(); math.Abs(got-(1-12.0/52.0)) > 1e-9 {
+		t.Errorf("CU = %v", got)
+	}
+	if stats.JobFailureFraction() <= 0 {
+		t.Error("failure fraction should be positive")
+	}
+	if _, err := AnalyzeJobs(nil); err != ErrEmptyLog {
+		t.Error("empty log accepted")
+	}
+	if _, err := AnalyzeJobs([]loggen.Event{{Time: ts(1, 0), Kind: loggen.MountFailure}}); err == nil {
+		t.Error("log without jobs accepted")
+	}
+	zero := JobStats{}
+	if zero.FailureRatio() != 0 || zero.JobFailureFraction() != 0 {
+		t.Error("zero-value stats should not divide by zero")
+	}
+}
+
+func TestAnalyzeDisks(t *testing.T) {
+	events := []loggen.Event{
+		{Time: ts(1, 0), Node: "window-open", Kind: loggen.JobSubmit},
+		{Time: ts(5, 1), Node: "ddn0-tier1-disk2", Kind: loggen.DiskFailed, Attrs: map[string]string{"age_hours": "1200"}},
+		{Time: ts(5, 5), Node: "ddn0-tier1-disk2", Kind: loggen.DiskReplaced},
+		{Time: ts(5, 9), Node: "ddn0-tier2-disk3", Kind: loggen.DiskFailed, Attrs: map[string]string{"age_hours": "300"}},
+		{Time: ts(13, 1), Node: "ddn1-tier0-disk9", Kind: loggen.DiskFailed, Attrs: map[string]string{"age_hours": "5200"}},
+		{Time: ts(23, 1), Node: "ddn1-tier5-disk1", Kind: loggen.DiskFailed}, // no age attr
+		{Time: ts(29, 0), Node: "window-close", Kind: loggen.JobSubmit},
+	}
+	report, err := AnalyzeDisks(events, 480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TotalFailures != 4 || report.Replacements != 1 {
+		t.Errorf("failures/replacements = %d/%d, want 4/1", report.TotalFailures, report.Replacements)
+	}
+	if len(report.ByDay) != 3 {
+		t.Errorf("failure days = %d, want 3", len(report.ByDay))
+	}
+	if report.ByDay[0].Failures != 2 {
+		t.Errorf("first day failures = %d, want 2", report.ByDay[0].Failures)
+	}
+	wantPerWeek := 4.0 / (ts(29, 0).Sub(ts(1, 0)).Hours() / 168)
+	if math.Abs(report.PerWeek-wantPerWeek) > 1e-9 {
+		t.Errorf("per week = %v, want %v", report.PerWeek, wantPerWeek)
+	}
+	if report.Fit.Shape <= 0 || report.Fit.N != 480 || report.Fit.Events != 4 {
+		t.Errorf("unexpected fit %+v", report.Fit)
+	}
+	if _, err := AnalyzeDisks(nil, 480); err != ErrEmptyLog {
+		t.Error("empty log accepted")
+	}
+	if _, err := AnalyzeDisks(events, 0); err == nil {
+		t.Error("zero population accepted")
+	}
+	if _, err := AnalyzeDisks([]loggen.Event{{Time: ts(1, 0), Kind: loggen.JobSubmit}}, 480); err == nil {
+		t.Error("log without disk failures accepted")
+	}
+}
+
+func TestDeriveRatesOnSyntheticABELog(t *testing.T) {
+	// End-to-end: generate the calibrated synthetic ABE logs and check that
+	// the derived model parameters land near the paper's published values.
+	logs, err := loggen.Generate(loggen.ABEConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := DeriveRates(logs, 480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates.CFSAvailability < 0.95 || rates.CFSAvailability > 0.995 {
+		t.Errorf("availability from log = %v, want within the paper's 0.97-0.98 band (±loose)", rates.CFSAvailability)
+	}
+	if rates.TransientJobFailureFraction < 0.02 || rates.TransientJobFailureFraction > 0.04 {
+		t.Errorf("transient job failure fraction = %v, want ~0.028 (1234/44085)", rates.TransientJobFailureFraction)
+	}
+	if rates.OtherJobFailureFraction <= 0 || rates.OtherJobFailureFraction > 0.01 {
+		t.Errorf("other job failure fraction = %v, want ~0.004", rates.OtherJobFailureFraction)
+	}
+	ratio := rates.TransientJobFailureFraction / rates.OtherJobFailureFraction
+	if ratio < 3 || ratio > 12 {
+		t.Errorf("transient:other ratio = %v, want around 5-7", ratio)
+	}
+	if rates.JobsPerHour < 11 || rates.JobsPerHour > 15 {
+		t.Errorf("jobs per hour = %v, want ~12.85", rates.JobsPerHour)
+	}
+	// The Weibull survival fit should show infant mortality (shape < 1) and
+	// be loosely near the paper's 0.6963571 given the short window.
+	if rates.DiskWeibullShape <= 0.3 || rates.DiskWeibullShape >= 1.2 {
+		t.Errorf("disk Weibull shape = %v, want well below wear-out territory (~0.7 fit)", rates.DiskWeibullShape)
+	}
+	if rates.DiskReplacementsPerWeek <= 0 || rates.DiskReplacementsPerWeek > 3 {
+		t.Errorf("disk replacements per week = %v, want the paper's 0-2 band", rates.DiskReplacementsPerWeek)
+	}
+	if rates.OutagesPerMonth <= 0 || rates.MeanOutageHours <= 0 {
+		t.Errorf("outage rates not derived: %+v", rates)
+	}
+	if _, err := DeriveRates(nil, 480); err == nil {
+		t.Error("nil logs accepted")
+	}
+}

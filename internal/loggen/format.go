@@ -1,0 +1,122 @@
+package loggen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// timeLayout is the on-disk timestamp format (RFC3339, UTC).
+const timeLayout = time.RFC3339
+
+// FormatEvent renders one event as a single log line:
+//
+//	2007-07-21T23:03:00Z san lustre-cfs OUTAGE_START cause="I/O hardware"
+//
+// Attribute keys are emitted in sorted order so output is deterministic.
+func FormatEvent(e Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %s %s", e.Time.UTC().Format(timeLayout), e.Source, e.Node, e.Kind)
+	keys := make([]string, 0, len(e.Attrs))
+	for k := range e.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%q", k, e.Attrs[k])
+	}
+	return b.String()
+}
+
+// Write serializes events, one line each, to w.
+func Write(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		if _, err := bw.WriteString(FormatEvent(e)); err != nil {
+			return fmt.Errorf("loggen: write: %w", err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("loggen: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseEvent parses one log line produced by FormatEvent.
+func ParseEvent(line string) (Event, error) {
+	fields := strings.SplitN(strings.TrimSpace(line), " ", 5)
+	if len(fields) < 4 {
+		return Event{}, fmt.Errorf("loggen: malformed log line %q", line)
+	}
+	ts, err := time.Parse(timeLayout, fields[0])
+	if err != nil {
+		return Event{}, fmt.Errorf("loggen: bad timestamp in %q: %w", line, err)
+	}
+	kind, err := ParseEventKind(fields[3])
+	if err != nil {
+		return Event{}, fmt.Errorf("loggen: %q: %w", line, err)
+	}
+	e := Event{Time: ts, Source: fields[1], Node: fields[2], Kind: kind, Attrs: map[string]string{}}
+	if len(fields) == 5 {
+		attrs, err := parseAttrs(fields[4])
+		if err != nil {
+			return Event{}, fmt.Errorf("loggen: %q: %w", line, err)
+		}
+		e.Attrs = attrs
+	}
+	return e, nil
+}
+
+// parseAttrs parses `key="value"` pairs separated by spaces. Values are
+// Go-quoted strings, so they may contain spaces and escaped characters.
+func parseAttrs(s string) (map[string]string, error) {
+	attrs := make(map[string]string)
+	rest := strings.TrimSpace(s)
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 || eq+1 >= len(rest) || rest[eq+1] != '"' {
+			return nil, fmt.Errorf("malformed attribute list %q", s)
+		}
+		key := rest[:eq]
+		quoted, err := strconv.QuotedPrefix(rest[eq+1:])
+		if err != nil {
+			return nil, fmt.Errorf("unterminated attribute value in %q: %w", s, err)
+		}
+		value, err := strconv.Unquote(quoted)
+		if err != nil {
+			return nil, fmt.Errorf("bad attribute value in %q: %w", s, err)
+		}
+		attrs[key] = value
+		rest = strings.TrimSpace(rest[eq+1+len(quoted):])
+	}
+	return attrs, nil
+}
+
+// Read parses a whole log stream (one event per line, blank lines and lines
+// starting with '#' ignored).
+func Read(r io.Reader) ([]Event, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var events []Event
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := ParseEvent(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		events = append(events, e)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("loggen: read: %w", err)
+	}
+	return events, nil
+}

@@ -1,0 +1,248 @@
+package loggen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{OutageStart, OutageEnd, DiskFailed, DiskReplaced, JobSubmit, JobEnd, MountFailure}
+	for _, k := range kinds {
+		s := k.String()
+		if strings.HasPrefix(s, "EventKind(") {
+			t.Errorf("kind %d has no string", k)
+		}
+		parsed, err := ParseEventKind(s)
+		if err != nil || parsed != k {
+			t.Errorf("ParseEventKind(%q) = %v, %v", s, parsed, err)
+		}
+	}
+	if _, err := ParseEventKind("BOGUS"); err == nil {
+		t.Error("bogus kind parsed")
+	}
+	if EventKind(0).String() == "OUTAGE_START" {
+		t.Error("zero kind aliases a valid kind")
+	}
+}
+
+func TestABEConfigValid(t *testing.T) {
+	cfg := ABEConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("ABE log config invalid: %v", err)
+	}
+	if cfg.ComputeDays != 143 {
+		t.Errorf("compute window = %d days, want 143 (05/13-10/02)", cfg.ComputeDays)
+	}
+	if got := cfg.SANLogStart(); got != time.Date(2007, 9, 5, 0, 0, 0, 0, time.UTC) {
+		t.Errorf("SAN log start = %v, want 2007-09-05", got)
+	}
+	if !cfg.SANLogEnd().After(cfg.SANLogStart()) {
+		t.Error("SAN window empty")
+	}
+	if !cfg.ComputeLogEnd().After(cfg.Start) {
+		t.Error("compute window empty")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mutations := map[string]func(*Config){
+		"zero start":        func(c *Config) { c.Start = time.Time{} },
+		"zero days":         func(c *Config) { c.ComputeDays = 0 },
+		"negative offset":   func(c *Config) { c.SANStartOffsetDays = -1 },
+		"no nodes":          func(c *Config) { c.ComputeNodes = 0 },
+		"no disks":          func(c *Config) { c.Disks = 0 },
+		"zero jobs":         func(c *Config) { c.JobsPerHour = 0 },
+		"bad probabilities": func(c *Config) { c.TransientJobFailureProb = 0.9; c.OtherJobFailureProb = 0.2 },
+		"zero outages":      func(c *Config) { c.OutagesPerMonth = 0 },
+		"no causes":         func(c *Config) { c.OutageCauseWeights = nil },
+		"bad disk":          func(c *Config) { c.DiskShape = 0 },
+		"bad bursts":        func(c *Config) { c.MountFailureBurstsPerMonth = 0 },
+	}
+	for name, mutate := range mutations {
+		cfg := ABEConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+	if _, err := Generate(Config{}); err == nil {
+		t.Error("Generate accepted zero config")
+	}
+}
+
+func TestGenerateReproducible(t *testing.T) {
+	cfg := ABEConfig()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.SAN) != len(b.SAN) || len(a.Compute) != len(b.Compute) {
+		t.Fatalf("same seed produced different log sizes: %d/%d vs %d/%d",
+			len(a.SAN), len(a.Compute), len(b.SAN), len(b.Compute))
+	}
+	for i := range a.SAN {
+		if !a.SAN[i].Time.Equal(b.SAN[i].Time) || a.SAN[i].Kind != b.SAN[i].Kind {
+			t.Fatalf("SAN event %d differs", i)
+		}
+	}
+}
+
+func TestGenerateCalibration(t *testing.T) {
+	logs, err := Generate(ABEConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Events are sorted.
+	for i := 1; i < len(logs.SAN); i++ {
+		if logs.SAN[i].Time.Before(logs.SAN[i-1].Time) {
+			t.Fatal("SAN log not sorted")
+		}
+	}
+	for i := 1; i < len(logs.Compute); i++ {
+		if logs.Compute[i].Time.Before(logs.Compute[i-1].Time) {
+			t.Fatal("compute log not sorted")
+		}
+	}
+
+	counts := map[EventKind]int{}
+	for _, e := range logs.SAN {
+		counts[e.Kind]++
+	}
+	for _, e := range logs.Compute {
+		counts[e.Kind]++
+	}
+	// ~44k jobs over 143 days at 12.85/hour.
+	if counts[JobSubmit] < 40000 || counts[JobSubmit] > 48000 {
+		t.Errorf("jobs = %d, want ~44000 (Table 3)", counts[JobSubmit])
+	}
+	if counts[JobEnd] != counts[JobSubmit] {
+		t.Errorf("job ends %d != submits %d", counts[JobEnd], counts[JobSubmit])
+	}
+	// Roughly 5-10 outages over the ~3 month SAN window (Table 1 lists 10
+	// over a slightly longer horizon).
+	if counts[OutageStart] < 3 || counts[OutageStart] > 15 {
+		t.Errorf("outages = %d, want a Table 1-like handful", counts[OutageStart])
+	}
+	if counts[OutageEnd] != counts[OutageStart] {
+		t.Errorf("outage ends %d != starts %d", counts[OutageEnd], counts[OutageStart])
+	}
+	// ~11 disk failures over the SAN window (Table 4); allow a wide band
+	// because the count is small.
+	if counts[DiskFailed] < 3 || counts[DiskFailed] > 30 {
+		t.Errorf("disk failures = %d, want roughly 11 (Table 4)", counts[DiskFailed])
+	}
+	if counts[DiskReplaced] > counts[DiskFailed] {
+		t.Errorf("replacements %d exceed failures %d", counts[DiskReplaced], counts[DiskFailed])
+	}
+	// Mount failure bursts exist (Table 2).
+	if counts[MountFailure] == 0 {
+		t.Error("no mount failures generated")
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	e := Event{
+		Time:   time.Date(2007, 7, 21, 23, 3, 0, 0, time.UTC),
+		Source: "san",
+		Node:   "lustre-cfs",
+		Kind:   OutageStart,
+		Attrs:  map[string]string{"cause": CauseIOHardware, "note": "dual FC path lost"},
+	}
+	line := FormatEvent(e)
+	if !strings.Contains(line, `cause="I/O hardware"`) {
+		t.Errorf("formatted line missing quoted cause: %s", line)
+	}
+	parsed, err := ParseEvent(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Time.Equal(e.Time) || parsed.Source != e.Source || parsed.Node != e.Node || parsed.Kind != e.Kind {
+		t.Errorf("round trip mismatch: %+v vs %+v", parsed, e)
+	}
+	if parsed.Attrs["cause"] != CauseIOHardware || parsed.Attrs["note"] != "dual FC path lost" {
+		t.Errorf("attrs mismatch: %+v", parsed.Attrs)
+	}
+}
+
+func TestParseEventErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"2007-07-21T23:03:00Z san lustre-cfs",
+		"notatime san lustre-cfs OUTAGE_START",
+		"2007-07-21T23:03:00Z san lustre-cfs BOGUS_KIND",
+		`2007-07-21T23:03:00Z san lustre-cfs OUTAGE_START cause=unquoted`,
+		`2007-07-21T23:03:00Z san lustre-cfs OUTAGE_START cause="unterminated`,
+	}
+	for _, line := range cases {
+		if _, err := ParseEvent(line); err == nil {
+			t.Errorf("ParseEvent(%q) succeeded", line)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	cfg := ABEConfig()
+	cfg.ComputeDays = 5
+	cfg.SANStartOffsetDays = 0
+	cfg.SANDays = 5
+	logs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString("# synthetic ABE SAN log\n\n")
+	if err := Write(&buf, logs.SAN); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(logs.SAN) {
+		t.Fatalf("round trip lost events: %d vs %d", len(events), len(logs.SAN))
+	}
+	for i := range events {
+		if events[i].Kind != logs.SAN[i].Kind || !events[i].Time.Equal(logs.SAN[i].Time.Truncate(time.Second)) {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, events[i], logs.SAN[i])
+		}
+	}
+	if _, err := Read(strings.NewReader("garbage line\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+// Property: formatted events always parse back with the same kind, source,
+// node, and attribute set.
+func TestQuickFormatParse(t *testing.T) {
+	f := func(nodeSeed uint16, kindSeed uint8, key, value string) bool {
+		kind := EventKind(int(kindSeed%7) + 1)
+		e := Event{
+			Time:   time.Date(2007, 6, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(nodeSeed) * time.Minute),
+			Source: "compute",
+			Node:   "c" + strings.Repeat("0", int(nodeSeed%3)+1),
+			Kind:   kind,
+			Attrs:  map[string]string{},
+		}
+		// Quoted attribute values cannot themselves contain quotes or
+		// newlines in this simple format; skip such inputs.
+		if strings.ContainsAny(key, "=\" \n") || strings.ContainsAny(value, "\"\n") || key == "" {
+			return true
+		}
+		e.Attrs[key] = value
+		parsed, err := ParseEvent(FormatEvent(e))
+		if err != nil {
+			return false
+		}
+		return parsed.Kind == e.Kind && parsed.Node == e.Node && parsed.Attrs[key] == value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,477 @@
+// Package raid models the storage hardware of the ABE cluster file system:
+// RAID6 (m+k) tiers of disks behind DDN storage units with redundant RAID
+// controllers. It provides both a stochastic-activity-network submodel
+// builder (used by the composed CFS model and by the Figure 2/3 experiments)
+// and analytic approximations used as baselines and cross-checks.
+//
+// The ABE scratch partition is 2 DataDirect Networks S2A9550 units, each
+// with 8 FC ports x 3 tiers of (8+2) 250 GB SATA disks in RAID6 — 480 disks
+// for 96 TB usable. Blue Waters-style systems move to (8+3).
+package raid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/san"
+)
+
+// Defaults matching the ABE cluster as described in the paper (Section 3).
+const (
+	// DefaultDataDisks and DefaultParityDisks give the (8+2) RAID6 geometry.
+	DefaultDataDisks   = 8
+	DefaultParityDisks = 2
+	// DefaultTiersPerDDN: each S2A9550 has 8 ports x 3 tiers.
+	DefaultTiersPerDDN = 24
+	// DefaultDiskCapacityGB is the ABE-era disk size (250 GB).
+	DefaultDiskCapacityGB = 250.0
+	// DefaultDiskMTBFHours is the MTBF the paper estimates by matching the
+	// observed replacement rate (300,000 h, AFR 2.92%).
+	DefaultDiskMTBFHours = 300000.0
+	// DefaultDiskShape is the Weibull shape fitted to the ABE disk logs.
+	DefaultDiskShape = 0.7
+	// DefaultReplaceHours is the disk replacement time used for the ABE
+	// configuration (1-12 h range in Table 5; 4 h in the figure labels).
+	DefaultReplaceHours = 4.0
+	// DefaultControllerMTBFHours is the per-controller hardware MTBF. The
+	// paper's Table 5 reports 1-2 hardware failures per 720 hours for the
+	// CFS as a whole; spread over the dozen-plus major hardware components
+	// (OSS servers, RAID controllers, FC ports/switches) this corresponds to
+	// roughly one failure per controller-year, which keeps the RAID6
+	// storage-availability at ~1 for the ABE configuration as the paper
+	// observes (Figure 2, first data point).
+	DefaultControllerMTBFHours = 8760.0
+	// Controller repairs take 12-36 hours (vendor part procurement).
+	DefaultControllerRepairLoHours = 12.0
+	DefaultControllerRepairHiHours = 36.0
+)
+
+// Validation errors.
+var (
+	ErrBadGeometry = errors.New("raid: invalid tier geometry")
+	ErrBadConfig   = errors.New("raid: invalid storage configuration")
+)
+
+// TierGeometry is the RAID layout of one tier: Data+Parity disks, tolerating
+// up to Parity concurrent disk failures.
+type TierGeometry struct {
+	Data   int
+	Parity int
+}
+
+// Disks returns the total number of disks in a tier.
+func (g TierGeometry) Disks() int { return g.Data + g.Parity }
+
+// String renders the geometry as "8+2".
+func (g TierGeometry) String() string { return fmt.Sprintf("%d+%d", g.Data, g.Parity) }
+
+// Validate checks the geometry.
+func (g TierGeometry) Validate() error {
+	if g.Data < 1 || g.Parity < 0 {
+		return fmt.Errorf("%w: %s", ErrBadGeometry, g)
+	}
+	return nil
+}
+
+// DiskConfig describes the disk failure/replacement process.
+type DiskConfig struct {
+	// ShapeBeta is the Weibull shape parameter (0.6-1.0 in the paper).
+	ShapeBeta float64
+	// MTBFHours is the mean time between failures of one disk.
+	MTBFHours float64
+	// ReplaceHours is the deterministic replacement/rebuild time.
+	ReplaceHours float64
+	// CapacityGB is the per-disk capacity used for usable-space accounting.
+	CapacityGB float64
+}
+
+// AFR returns the annualized failure rate fraction implied by MTBFHours.
+func (d DiskConfig) AFR() float64 { return dist.HoursPerYear / d.MTBFHours }
+
+// Validate checks the disk parameters.
+func (d DiskConfig) Validate() error {
+	if !(d.ShapeBeta > 0) || !(d.MTBFHours > 0) || !(d.ReplaceHours > 0) || !(d.CapacityGB > 0) {
+		return fmt.Errorf("%w: disk %+v", ErrBadConfig, d)
+	}
+	return nil
+}
+
+// ControllerConfig describes one RAID controller of a DDN unit. Controllers
+// are deployed as fail-over pairs; the unit is unavailable only when both
+// members are down.
+type ControllerConfig struct {
+	// MTBFHours is the mean time between hardware failures of one
+	// controller (720/1.5 = 480 h for the paper's 1-2 per month).
+	MTBFHours float64
+	// RepairLoHours and RepairHiHours bound the uniform repair time.
+	RepairLoHours float64
+	RepairHiHours float64
+}
+
+// Validate checks the controller parameters.
+func (c ControllerConfig) Validate() error {
+	if !(c.MTBFHours > 0) || !(c.RepairLoHours > 0) || c.RepairHiHours < c.RepairLoHours {
+		return fmt.Errorf("%w: controller %+v", ErrBadConfig, c)
+	}
+	return nil
+}
+
+// StorageConfig describes the full storage subsystem: a number of DDN units,
+// each with redundant controllers and a set of RAID tiers.
+type StorageConfig struct {
+	DDNUnits    int
+	TiersPerDDN int
+	Geometry    TierGeometry
+	Disk        DiskConfig
+	Controller  ControllerConfig
+}
+
+// DefaultDisk returns the ABE disk configuration.
+func DefaultDisk() DiskConfig {
+	return DiskConfig{
+		ShapeBeta:    DefaultDiskShape,
+		MTBFHours:    DefaultDiskMTBFHours,
+		ReplaceHours: DefaultReplaceHours,
+		CapacityGB:   DefaultDiskCapacityGB,
+	}
+}
+
+// DefaultController returns the ABE controller configuration.
+func DefaultController() ControllerConfig {
+	return ControllerConfig{
+		MTBFHours:     DefaultControllerMTBFHours,
+		RepairLoHours: DefaultControllerRepairLoHours,
+		RepairHiHours: DefaultControllerRepairHiHours,
+	}
+}
+
+// ABEStorage returns the storage configuration of the ABE scratch partition:
+// 2 S2A9550 units, 24 (8+2) tiers each, 480 disks, 96 TB usable.
+func ABEStorage() StorageConfig {
+	return StorageConfig{
+		DDNUnits:    2,
+		TiersPerDDN: DefaultTiersPerDDN,
+		Geometry:    TierGeometry{Data: DefaultDataDisks, Parity: DefaultParityDisks},
+		Disk:        DefaultDisk(),
+		Controller:  DefaultController(),
+	}
+}
+
+// Validate checks the whole storage configuration.
+func (c StorageConfig) Validate() error {
+	if c.DDNUnits < 1 || c.TiersPerDDN < 1 {
+		return fmt.Errorf("%w: %d DDN units x %d tiers", ErrBadConfig, c.DDNUnits, c.TiersPerDDN)
+	}
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Disk.Validate(); err != nil {
+		return err
+	}
+	return c.Controller.Validate()
+}
+
+// TotalTiers returns the number of RAID tiers in the subsystem.
+func (c StorageConfig) TotalTiers() int { return c.DDNUnits * c.TiersPerDDN }
+
+// TotalDisks returns the number of disks in the subsystem.
+func (c StorageConfig) TotalDisks() int { return c.TotalTiers() * c.Geometry.Disks() }
+
+// UsableTB returns the usable capacity in terabytes (data disks only).
+func (c StorageConfig) UsableTB() float64 {
+	return float64(c.TotalTiers()*c.Geometry.Data) * c.Disk.CapacityGB / 1000.0
+}
+
+// ScaledToDisks returns a copy of the configuration with the number of DDN
+// units chosen so the total disk count is at least disks (keeping the tier
+// geometry and tiers-per-DDN fixed). This is how the Figure 3 sweep scales
+// the ABE system.
+func (c StorageConfig) ScaledToDisks(disks int) (StorageConfig, error) {
+	if disks < 1 {
+		return StorageConfig{}, fmt.Errorf("%w: target disk count %d", ErrBadConfig, disks)
+	}
+	perDDN := c.TiersPerDDN * c.Geometry.Disks()
+	units := (disks + perDDN - 1) / perDDN
+	out := c
+	out.DDNUnits = units
+	return out, nil
+}
+
+// ScaledToUsableTB returns a copy of the configuration scaled (by adding DDN
+// units and growing per-disk capacity) to reach the target usable capacity,
+// assuming the given annual disk-capacity growth over years. This mirrors
+// the Figure 2 x-axis, which scales the ABE system by storage size.
+func (c StorageConfig) ScaledToUsableTB(targetTB, annualCapacityGrowth float64, years float64) (StorageConfig, error) {
+	if !(targetTB > 0) {
+		return StorageConfig{}, fmt.Errorf("%w: target capacity %v TB", ErrBadConfig, targetTB)
+	}
+	out := c
+	out.Disk.CapacityGB = c.Disk.CapacityGB * math.Pow(1+annualCapacityGrowth, years)
+	perDDNTB := float64(c.TiersPerDDN*c.Geometry.Data) * out.Disk.CapacityGB / 1000.0
+	units := int(math.Ceil(targetTB / perDDNTB))
+	if units < 1 {
+		units = 1
+	}
+	out.DDNUnits = units
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// SAN submodel builder
+// ---------------------------------------------------------------------------
+
+// StoragePlaces exposes the shared state of the storage submodel to the rest
+// of the composed CFS model and to reward variables.
+type StoragePlaces struct {
+	// TiersFailed counts RAID tiers currently in the data-unavailable state
+	// (more than Parity disks concurrently failed).
+	TiersFailed *san.Place
+	// DDNFailed counts DDN units whose controller fail-over pair is entirely
+	// down.
+	DDNFailed *san.Place
+	// DisksDown counts disks currently awaiting replacement.
+	DisksDown *san.Place
+	// ReplaceActivities lists the names of every disk-replacement activity,
+	// for completion-count rewards (disk replacement rate).
+	ReplaceActivities []string
+	// Config echoes the configuration the submodel was built from.
+	Config StorageConfig
+}
+
+// Operational reports whether the storage subsystem is fully operational in
+// marking m: no failed tier and no DDN unit without a working controller.
+func (sp *StoragePlaces) Operational(m san.MarkingReader) bool {
+	return m.Tokens(sp.TiersFailed) == 0 && m.Tokens(sp.DDNFailed) == 0
+}
+
+// BuildStorage adds the storage subsystem (all DDN units, controllers,
+// tiers, and disks) to model under the given namespace prefix and returns
+// the shared places. It mirrors the DDN_UNITS / RAID_CONTROLLER /
+// RAID6_TIERS composition of the paper's Figure 1.
+func BuildStorage(m *san.Model, prefix string, cfg StorageConfig) (*StoragePlaces, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sp := &StoragePlaces{Config: cfg}
+	var err error
+	sp.TiersFailed, err = m.AddPlaceErr(san.Qualify(prefix, "tiers_failed"), 0)
+	if err != nil {
+		return nil, err
+	}
+	sp.DDNFailed, err = m.AddPlaceErr(san.Qualify(prefix, "ddn_failed"), 0)
+	if err != nil {
+		return nil, err
+	}
+	sp.DisksDown, err = m.AddPlaceErr(san.Qualify(prefix, "disks_down"), 0)
+	if err != nil {
+		return nil, err
+	}
+
+	diskLife, err := dist.NewWeibullFromMTBF(cfg.Disk.ShapeBeta, cfg.Disk.MTBFHours)
+	if err != nil {
+		return nil, err
+	}
+	diskReplace, err := dist.NewDeterministic(cfg.Disk.ReplaceHours)
+	if err != nil {
+		return nil, err
+	}
+	ctrlLife, err := dist.NewExponentialFromMean(cfg.Controller.MTBFHours)
+	if err != nil {
+		return nil, err
+	}
+	ctrlRepair, err := dist.NewUniform(cfg.Controller.RepairLoHours, cfg.Controller.RepairHiHours)
+	if err != nil {
+		return nil, err
+	}
+
+	err = san.Replicate(m, san.Qualify(prefix, "ddn"), cfg.DDNUnits, func(m *san.Model, ddnPrefix string, _ int) error {
+		if err := buildControllerPair(m, ddnPrefix, ctrlLife, ctrlRepair, sp); err != nil {
+			return err
+		}
+		return san.Replicate(m, san.Qualify(ddnPrefix, "tier"), cfg.TiersPerDDN, func(m *san.Model, tierPrefix string, _ int) error {
+			return buildTier(m, tierPrefix, cfg.Geometry, diskLife, diskReplace, sp)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// buildControllerPair models the redundant RAID controllers of one DDN unit.
+// The unit becomes unavailable only when both controllers are down, matching
+// the paper's fail-over-pair assumption.
+func buildControllerPair(m *san.Model, prefix string, life, repair dist.Distribution, sp *StoragePlaces) error {
+	pairDown, err := m.AddPlaceErr(san.Qualify(prefix, "controllers_down"), 0)
+	if err != nil {
+		return err
+	}
+	return san.Replicate(m, san.Qualify(prefix, "controller"), 2, func(m *san.Model, cPrefix string, _ int) error {
+		up, err := m.AddPlaceErr(san.Qualify(cPrefix, "up"), 1)
+		if err != nil {
+			return err
+		}
+		down, err := m.AddPlaceErr(san.Qualify(cPrefix, "down"), 0)
+		if err != nil {
+			return err
+		}
+		m.AddTimedActivity(san.Qualify(cPrefix, "fail"), life).
+			AddInputArc(up, 1).
+			AddOutputArc(down, 1).
+			AddOutputGate(&san.OutputGate{
+				Name: san.Qualify(cPrefix, "fail_og"),
+				Transform: func(mw san.MarkingWriter) {
+					mw.Add(pairDown, 1)
+					if mw.Tokens(pairDown) == 2 {
+						mw.Add(sp.DDNFailed, 1)
+					}
+				},
+			})
+		m.AddTimedActivity(san.Qualify(cPrefix, "repair"), repair).
+			AddInputArc(down, 1).
+			AddOutputArc(up, 1).
+			AddOutputGate(&san.OutputGate{
+				Name: san.Qualify(cPrefix, "repair_og"),
+				Transform: func(mw san.MarkingWriter) {
+					if mw.Tokens(pairDown) == 2 {
+						mw.Add(sp.DDNFailed, -1)
+					}
+					mw.Add(pairDown, -1)
+				},
+			})
+		return nil
+	})
+}
+
+// buildTier models one RAID (m+k) tier: each disk fails with a Weibull
+// lifetime and is replaced (good-as-new) after a deterministic delay. The
+// tier is considered failed while more than Parity disks are concurrently
+// down.
+func buildTier(m *san.Model, prefix string, g TierGeometry, life, replace dist.Distribution, sp *StoragePlaces) error {
+	failedDisks, err := m.AddPlaceErr(san.Qualify(prefix, "failed_disks"), 0)
+	if err != nil {
+		return err
+	}
+	parity := g.Parity
+	return san.Replicate(m, san.Qualify(prefix, "disk"), g.Disks(), func(m *san.Model, dPrefix string, _ int) error {
+		up, err := m.AddPlaceErr(san.Qualify(dPrefix, "up"), 1)
+		if err != nil {
+			return err
+		}
+		down, err := m.AddPlaceErr(san.Qualify(dPrefix, "down"), 0)
+		if err != nil {
+			return err
+		}
+		m.AddTimedActivity(san.Qualify(dPrefix, "fail"), life).
+			AddInputArc(up, 1).
+			AddOutputArc(down, 1).
+			AddOutputGate(&san.OutputGate{
+				Name: san.Qualify(dPrefix, "fail_og"),
+				Transform: func(mw san.MarkingWriter) {
+					mw.Add(sp.DisksDown, 1)
+					mw.Add(failedDisks, 1)
+					if mw.Tokens(failedDisks) == parity+1 {
+						mw.Add(sp.TiersFailed, 1)
+					}
+				},
+			})
+		replaceName := san.Qualify(dPrefix, "replace")
+		m.AddTimedActivity(replaceName, replace).
+			AddInputArc(down, 1).
+			AddOutputArc(up, 1).
+			AddOutputGate(&san.OutputGate{
+				Name: san.Qualify(dPrefix, "replace_og"),
+				Transform: func(mw san.MarkingWriter) {
+					if mw.Tokens(failedDisks) == parity+1 {
+						mw.Add(sp.TiersFailed, -1)
+					}
+					mw.Add(failedDisks, -1)
+					mw.Add(sp.DisksDown, -1)
+				},
+			})
+		sp.ReplaceActivities = append(sp.ReplaceActivities, replaceName)
+		return nil
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Reward variables
+// ---------------------------------------------------------------------------
+
+// AvailabilityReward returns the time-averaged storage availability reward
+// (the measure plotted in Figure 2).
+func (sp *StoragePlaces) AvailabilityReward(name string) san.RewardVariable {
+	return san.UpFraction(name, sp.Operational)
+}
+
+// ReplacementCountReward returns the accumulated count of disk replacements
+// over the mission (convert to per-week with 168/mission — Figure 3).
+func (sp *StoragePlaces) ReplacementCountReward(name string) san.RewardVariable {
+	return san.CompletionCount(name, sp.ReplaceActivities...)
+}
+
+// ---------------------------------------------------------------------------
+// Analytic approximations
+// ---------------------------------------------------------------------------
+
+// TierUnavailabilityExponential returns the steady-state unavailability of a
+// single (m+k) tier under exponential disk lifetimes (MTBF hours) and
+// exponential replacement (MTTR hours) with independent per-disk repair.
+// It solves the birth-death chain on the number of failed disks; the tier is
+// unavailable in states with more than Parity failures. This is the baseline
+// the SAN simulation is cross-checked against for shape=1 disks.
+func TierUnavailabilityExponential(g TierGeometry, mtbfHours, mttrHours float64) (float64, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	if !(mtbfHours > 0) || !(mttrHours > 0) {
+		return 0, fmt.Errorf("%w: mtbf %v mttr %v", ErrBadConfig, mtbfHours, mttrHours)
+	}
+	n := g.Disks()
+	lambda := 1 / mtbfHours
+	mu := 1 / mttrHours
+	// Unnormalized steady-state probabilities pi_i via detailed balance:
+	// pi_{i+1} = pi_i * (n-i)*lambda / ((i+1)*mu).
+	pi := make([]float64, n+1)
+	pi[0] = 1
+	for i := 0; i < n; i++ {
+		pi[i+1] = pi[i] * float64(n-i) * lambda / (float64(i+1) * mu)
+	}
+	var norm, unavail float64
+	for i, p := range pi {
+		norm += p
+		if i > g.Parity {
+			unavail += p
+		}
+	}
+	return unavail / norm, nil
+}
+
+// StorageUnavailabilityExponential combines independent tier unavailability
+// across all tiers of a configuration (ignoring controllers), assuming the
+// subsystem is unavailable when any tier is unavailable.
+func StorageUnavailabilityExponential(cfg StorageConfig, mttrHours float64) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	u, err := TierUnavailabilityExponential(cfg.Geometry, cfg.Disk.MTBFHours, mttrHours)
+	if err != nil {
+		return 0, err
+	}
+	avail := math.Pow(1-u, float64(cfg.TotalTiers()))
+	return 1 - avail, nil
+}
+
+// ExpectedReplacementsPerWeek returns the long-run expected number of disk
+// replacements per week for the configuration: each disk alternates between
+// a lifetime with mean MTBF and a replacement of ReplaceHours, so its
+// renewal rate is 1/(MTBF+ReplaceHours).
+func ExpectedReplacementsPerWeek(cfg StorageConfig) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	perDisk := dist.HoursPerWeek / (cfg.Disk.MTBFHours + cfg.Disk.ReplaceHours)
+	return perDisk * float64(cfg.TotalDisks()), nil
+}

@@ -1,0 +1,428 @@
+package raid
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+	"repro/internal/san"
+)
+
+func TestTierGeometry(t *testing.T) {
+	g := TierGeometry{Data: 8, Parity: 2}
+	if g.Disks() != 10 {
+		t.Errorf("Disks = %d, want 10", g.Disks())
+	}
+	if g.String() != "8+2" {
+		t.Errorf("String = %q", g.String())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("valid geometry rejected: %v", err)
+	}
+	if err := (TierGeometry{Data: 0, Parity: 2}).Validate(); err == nil {
+		t.Error("zero data disks accepted")
+	}
+	if err := (TierGeometry{Data: 8, Parity: -1}).Validate(); err == nil {
+		t.Error("negative parity accepted")
+	}
+}
+
+func TestDiskConfig(t *testing.T) {
+	d := DefaultDisk()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("default disk invalid: %v", err)
+	}
+	if math.Abs(d.AFR()-0.0292) > 0.001 {
+		t.Errorf("default AFR = %v, want ~0.0292", d.AFR())
+	}
+	d.MTBFHours = 0
+	if err := d.Validate(); err == nil {
+		t.Error("zero MTBF accepted")
+	}
+}
+
+func TestControllerConfig(t *testing.T) {
+	c := DefaultController()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default controller invalid: %v", err)
+	}
+	c.RepairHiHours = c.RepairLoHours - 1
+	if err := c.Validate(); err == nil {
+		t.Error("inverted repair range accepted")
+	}
+}
+
+func TestABEStorageConfig(t *testing.T) {
+	cfg := ABEStorage()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("ABE config invalid: %v", err)
+	}
+	if cfg.TotalDisks() != 480 {
+		t.Errorf("TotalDisks = %d, want 480 (paper Section 3.2)", cfg.TotalDisks())
+	}
+	if cfg.TotalTiers() != 48 {
+		t.Errorf("TotalTiers = %d, want 48", cfg.TotalTiers())
+	}
+	if math.Abs(cfg.UsableTB()-96) > 0.01 {
+		t.Errorf("UsableTB = %v, want 96", cfg.UsableTB())
+	}
+}
+
+func TestStorageConfigValidate(t *testing.T) {
+	cfg := ABEStorage()
+	cfg.DDNUnits = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero DDN units accepted")
+	}
+	cfg = ABEStorage()
+	cfg.Geometry.Data = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	cfg = ABEStorage()
+	cfg.Disk.ReplaceHours = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("bad disk accepted")
+	}
+	cfg = ABEStorage()
+	cfg.Controller.MTBFHours = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("bad controller accepted")
+	}
+}
+
+func TestScaledToDisks(t *testing.T) {
+	cfg := ABEStorage()
+	scaled, err := cfg.ScaledToDisks(4800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.DDNUnits != 20 {
+		t.Errorf("DDNUnits = %d, want 20", scaled.DDNUnits)
+	}
+	if scaled.TotalDisks() != 4800 {
+		t.Errorf("TotalDisks = %d, want 4800", scaled.TotalDisks())
+	}
+	// Rounds up when the target is not a multiple of a DDN unit.
+	scaled, err = cfg.ScaledToDisks(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.DDNUnits != 3 {
+		t.Errorf("DDNUnits = %d, want 3", scaled.DDNUnits)
+	}
+	if _, err := cfg.ScaledToDisks(0); err == nil {
+		t.Error("zero disks accepted")
+	}
+}
+
+func TestScaledToUsableTB(t *testing.T) {
+	cfg := ABEStorage()
+	// Same capacity per disk (0 years of growth): 12x the capacity needs 12x
+	// the DDN units.
+	scaled, err := cfg.ScaledToUsableTB(96*12, 0.33, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.DDNUnits != 24 {
+		t.Errorf("DDNUnits = %d, want 24", scaled.DDNUnits)
+	}
+	// With 4 years of 33% capacity growth, 12 PB needs far fewer units than
+	// it would at 250 GB/disk.
+	petascale, err := cfg.ScaledToUsableTB(12000, 0.33, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := cfg.ScaledToUsableTB(12000, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if petascale.DDNUnits >= naive.DDNUnits {
+		t.Errorf("capacity growth should reduce the units needed: %d vs %d", petascale.DDNUnits, naive.DDNUnits)
+	}
+	if petascale.UsableTB() < 12000 {
+		t.Errorf("scaled capacity %v TB < target", petascale.UsableTB())
+	}
+	if _, err := cfg.ScaledToUsableTB(-1, 0.33, 4); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestBuildStorageStructure(t *testing.T) {
+	m := san.NewModel("storage-test")
+	cfg := StorageConfig{
+		DDNUnits:    2,
+		TiersPerDDN: 3,
+		Geometry:    TierGeometry{Data: 8, Parity: 2},
+		Disk:        DefaultDisk(),
+		Controller:  DefaultController(),
+	}
+	sp, err := BuildStorage(m, "storage", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("built model invalid: %v", err)
+	}
+	// 2 DDN x 3 tiers x 10 disks = 60 disks, one replace activity each.
+	if len(sp.ReplaceActivities) != 60 {
+		t.Errorf("replace activities = %d, want 60", len(sp.ReplaceActivities))
+	}
+	// Places: 3 global counters + per DDN (1 pairDown + 2x2 controller) +
+	// per tier (1 + 10x2 disks).
+	wantPlaces := 3 + 2*(1+4) + 6*(1+20)
+	if m.NumPlaces() != wantPlaces {
+		t.Errorf("NumPlaces = %d, want %d", m.NumPlaces(), wantPlaces)
+	}
+	// Activities: per controller 2 (fail/repair) x 2 x 2 DDN = 8, per disk 2 x 60 = 120.
+	if m.NumActivities() != 128 {
+		t.Errorf("NumActivities = %d, want 128", m.NumActivities())
+	}
+	if m.Place("storage/ddn[1]/tier[2]/disk[9]/up") == nil {
+		t.Error("expected hierarchical place names")
+	}
+	for _, name := range sp.ReplaceActivities {
+		if !strings.Contains(name, "replace") {
+			t.Errorf("unexpected replace activity name %q", name)
+		}
+	}
+	// Rebuilding under the same prefix must fail (duplicate names).
+	if _, err := BuildStorage(m, "storage", cfg); err == nil {
+		t.Error("duplicate prefix accepted")
+	}
+	// Invalid config rejected.
+	bad := cfg
+	bad.DDNUnits = 0
+	if _, err := BuildStorage(san.NewModel("x"), "s", bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestStorageSimulationHighReliability(t *testing.T) {
+	// With ABE-like parameters at small scale the storage availability must
+	// be essentially 1 and the replacement count must match the analytic
+	// renewal rate.
+	m := san.NewModel("abe-small")
+	cfg := StorageConfig{
+		DDNUnits:    1,
+		TiersPerDDN: 4,
+		Geometry:    TierGeometry{Data: 8, Parity: 2},
+		Disk:        DiskConfig{ShapeBeta: 1.0, MTBFHours: 50000, ReplaceHours: 4, CapacityGB: 250},
+		Controller:  DefaultController(),
+	}
+	sp, err := BuildStorage(m, "storage", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewards := []san.RewardVariable{
+		sp.AvailabilityReward("storage_availability"),
+		sp.ReplacementCountReward("replacements"),
+	}
+	res, err := san.RunReplications(m, rewards, san.Options{Mission: 8760, Replications: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avail := res.Mean("storage_availability")
+	if avail < 0.999 {
+		t.Errorf("storage availability = %v, want ~1 at this scale", avail)
+	}
+	// Expected replacements per year: 40 disks * 8760/50004 ≈ 7.0.
+	wantPerYear := float64(cfg.TotalDisks()) * 8760 / (cfg.Disk.MTBFHours + cfg.Disk.ReplaceHours)
+	got := res.Mean("replacements")
+	if math.Abs(got-wantPerYear)/wantPerYear > 0.25 {
+		t.Errorf("replacements per year = %v, want ~%v", got, wantPerYear)
+	}
+}
+
+func TestStorageSimulationTierFailureInjection(t *testing.T) {
+	// Failure injection: disks that live a deterministic 10 hours and take
+	// 100 hours to replace guarantee that a (1+1) tier loses redundancy, so
+	// the tier must be observed failed and availability must drop well below
+	// 1.
+	m := san.NewModel("inject")
+	sp := &StoragePlaces{}
+	var err error
+	sp.TiersFailed, err = m.AddPlaceErr("tiers_failed", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.DDNFailed, _ = m.AddPlaceErr("ddn_failed", 0)
+	sp.DisksDown, _ = m.AddPlaceErr("disks_down", 0)
+	life, _ := dist.NewDeterministic(10)
+	replace, _ := dist.NewDeterministic(100)
+	if err := buildTier(m, "tier", TierGeometry{Data: 1, Parity: 1}, life, replace, sp); err != nil {
+		t.Fatal(err)
+	}
+	rewards := []san.RewardVariable{
+		sp.AvailabilityReward("avail"),
+		san.CompletionCount("tier_failures", findActivities(m, "fail")...),
+	}
+	sim, err := san.NewSimulator(m, rewards, newTestStream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both disks fail at t=10 and stay down until t=110: at least 100 of the
+	// 200 hours are unavailable.
+	if got := res.Rewards["avail"]; got > 0.55 {
+		t.Errorf("availability = %v, want <= 0.55 under forced double failure", got)
+	}
+	if got := res.Rewards["tier_failures"]; got < 2 {
+		t.Errorf("disk failures = %v, want >= 2", got)
+	}
+}
+
+func TestControllerDoubleFaultCausesDDNFailure(t *testing.T) {
+	// Failure injection for the controller pair: both controllers fail
+	// deterministically and take long to repair, so the DDN must be counted
+	// as failed for part of the mission.
+	m := san.NewModel("ctrl-inject")
+	sp := &StoragePlaces{}
+	sp.TiersFailed, _ = m.AddPlaceErr("tiers_failed", 0)
+	sp.DDNFailed, _ = m.AddPlaceErr("ddn_failed", 0)
+	sp.DisksDown, _ = m.AddPlaceErr("disks_down", 0)
+	life, _ := dist.NewDeterministic(10)
+	repair, _ := dist.NewDeterministic(50)
+	if err := buildControllerPair(m, "ddn", life, repair, sp); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := san.NewSimulator(m, []san.RewardVariable{sp.AvailabilityReward("avail")}, newTestStream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both fail at t=10, repaired at t=60: 50 of 60 hours unavailable.
+	if got := res.Rewards["avail"]; math.Abs(got-10.0/60.0) > 1e-9 {
+		t.Errorf("availability = %v, want %v", got, 10.0/60.0)
+	}
+}
+
+func TestTierUnavailabilityExponential(t *testing.T) {
+	// RAID0 (no parity) single-disk tier: unavailability = MTTR/(MTBF+MTTR).
+	u, err := TierUnavailabilityExponential(TierGeometry{Data: 1, Parity: 0}, 1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10.0 / 1010.0
+	if math.Abs(u-want) > 1e-12 {
+		t.Errorf("single-disk unavailability = %v, want %v", u, want)
+	}
+	// More parity is strictly better.
+	u2, _ := TierUnavailabilityExponential(TierGeometry{Data: 8, Parity: 2}, 100000, 4)
+	u3, _ := TierUnavailabilityExponential(TierGeometry{Data: 8, Parity: 3}, 100000, 4)
+	if !(u3 < u2) {
+		t.Errorf("8+3 unavailability %v should be < 8+2 %v", u3, u2)
+	}
+	if u2 <= 0 || u2 >= 1 {
+		t.Errorf("unavailability out of range: %v", u2)
+	}
+	if _, err := TierUnavailabilityExponential(TierGeometry{Data: 0}, 100, 1); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	if _, err := TierUnavailabilityExponential(TierGeometry{Data: 1}, 0, 1); err == nil {
+		t.Error("zero MTBF accepted")
+	}
+}
+
+func TestStorageUnavailabilityExponentialMonotoneInScale(t *testing.T) {
+	small := ABEStorage()
+	small.Disk.ShapeBeta = 1.0
+	big, err := small.ScaledToDisks(4800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uSmall, err := StorageUnavailabilityExponential(small, small.Disk.ReplaceHours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uBig, err := StorageUnavailabilityExponential(big, big.Disk.ReplaceHours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(uBig > uSmall) {
+		t.Errorf("unavailability should grow with scale: %v vs %v", uSmall, uBig)
+	}
+	bad := small
+	bad.DDNUnits = 0
+	if _, err := StorageUnavailabilityExponential(bad, 4); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestExpectedReplacementsPerWeek(t *testing.T) {
+	cfg := ABEStorage()
+	perWeek, err := ExpectedReplacementsPerWeek(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper observes 0-2 replacements per week on ABE; the analytic value
+	// for 480 disks at 300,000 h MTBF is ~0.27/week.
+	if perWeek < 0.1 || perWeek > 2 {
+		t.Errorf("ABE replacements per week = %v, want within the paper's 0-2 band", perWeek)
+	}
+	scaled, _ := cfg.ScaledToDisks(4800)
+	scaledPerWeek, _ := ExpectedReplacementsPerWeek(scaled)
+	if math.Abs(scaledPerWeek-10*perWeek)/scaledPerWeek > 0.01 {
+		t.Errorf("10x disks should give 10x replacements: %v vs %v", scaledPerWeek, perWeek)
+	}
+	bad := cfg
+	bad.Disk.MTBFHours = -1
+	if _, err := ExpectedReplacementsPerWeek(bad); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+// Property: analytic tier unavailability is within (0,1), decreases with
+// added parity, and increases with MTTR.
+func TestQuickTierUnavailabilityProperties(t *testing.T) {
+	f := func(dataSeed, paritySeed uint8, mtbfSeed, mttrSeed uint16) bool {
+		g := TierGeometry{Data: int(dataSeed%12) + 1, Parity: int(paritySeed % 4)}
+		mtbf := 1000 + float64(mtbfSeed)
+		mttr := 1 + float64(mttrSeed%200)
+		u, err := TierUnavailabilityExponential(g, mtbf, mttr)
+		if err != nil {
+			return false
+		}
+		if u <= 0 || u >= 1 {
+			return false
+		}
+		better, err := TierUnavailabilityExponential(TierGeometry{Data: g.Data, Parity: g.Parity + 1}, mtbf, mttr)
+		if err != nil || better >= u {
+			return false
+		}
+		slower, err := TierUnavailabilityExponential(g, mtbf, mttr*2)
+		if err != nil || slower <= u {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// findActivities returns the names of activities containing substr.
+func findActivities(m *san.Model, substr string) []string {
+	var out []string
+	for _, a := range m.Activities() {
+		if strings.Contains(a.Name(), substr) {
+			out = append(out, a.Name())
+		}
+	}
+	return out
+}
+
+// newTestStream returns a deterministic stream for single-run simulations in
+// this package's tests.
+func newTestStream() *rng.Stream {
+	return rng.NewStream(123, "raid-test")
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	table := Table{
+		Title:   "Demo",
+		Headers: []string{"Name", "Value"},
+	}
+	table.AddRow("availability", 0.972)
+	table.AddRow("disks", 480)
+	out := table.Render()
+	for _, want := range []string{"Demo", "Name", "Value", "availability", "0.972", "480"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, underline, header, separator, 2 rows
+		t.Errorf("rendered table has %d lines, want 6:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	table := Table{Headers: []string{"a", "b"}}
+	table.AddRow("plain", `has,comma and "quote"`)
+	csv := table.CSV()
+	if !strings.Contains(csv, "a,b\n") {
+		t.Errorf("CSV missing header: %q", csv)
+	}
+	if !strings.Contains(csv, `"has,comma and \"quote\""`) {
+		t.Errorf("CSV did not quote special cell: %q", csv)
+	}
+}
+
+func TestFigureAddPointAndRender(t *testing.T) {
+	fig := Figure{Title: "F", XLabel: "x", YLabel: "y"}
+	fig.AddPoint("s1", Point{X: 1, Y: 0.9, HalfWidth: 0.01})
+	fig.AddPoint("s1", Point{X: 2, Y: 0.8})
+	fig.AddPoint("s2", Point{X: 1, Y: 0.5})
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(fig.Series))
+	}
+	out := fig.Render()
+	for _, want := range []string{"F", "x", "s1", "s2", "0.9 ±0.01", "0.8", "0.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered figure missing %q:\n%s", want, out)
+		}
+	}
+	ys := fig.SeriesY("s1")
+	if len(ys) != 2 || ys[0] != 0.9 || ys[1] != 0.8 {
+		t.Errorf("SeriesY = %v", ys)
+	}
+	if fig.SeriesY("missing") != nil {
+		t.Error("SeriesY for unknown series should be nil")
+	}
+}
+
+func TestFigureRenderMissingCells(t *testing.T) {
+	fig := Figure{Title: "gaps", XLabel: "x"}
+	fig.AddPoint("a", Point{X: 1, Y: 1})
+	fig.AddPoint("b", Point{X: 2, Y: 2})
+	out := fig.Render()
+	// Both x values appear even though each series has only one of them.
+	if !strings.Contains(out, "1") || !strings.Contains(out, "2") {
+		t.Errorf("figure with gaps rendered incorrectly:\n%s", out)
+	}
+}

@@ -1,0 +1,695 @@
+package san
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+func mustExp(t testing.TB, mean float64) dist.Exponential {
+	t.Helper()
+	e, err := dist.NewExponentialFromMean(mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func mustDet(t testing.TB, v float64) dist.Deterministic {
+	t.Helper()
+	d, err := dist.NewDeterministic(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// buildFailRepair constructs the canonical two-state component model:
+// up --fail--> down --repair--> up.
+func buildFailRepair(t testing.TB, mttf, mttr float64) (*Model, *Place) {
+	t.Helper()
+	m := NewModel("component")
+	up := m.AddPlace("up", 1)
+	down := m.AddPlace("down", 0)
+	m.AddTimedActivity("fail", mustExp(t, mttf)).AddInputArc(up, 1).AddOutputArc(down, 1)
+	m.AddTimedActivity("repair", mustExp(t, mttr)).AddInputArc(down, 1).AddOutputArc(up, 1)
+	return m, up
+}
+
+func TestModelConstruction(t *testing.T) {
+	m := NewModel("test")
+	if m.Name() != "test" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	p := m.AddPlace("p", 3)
+	if p.Name() != "p" || p.Initial() != 3 {
+		t.Errorf("place = %q/%d", p.Name(), p.Initial())
+	}
+	if m.Place("p") != p || m.Place("missing") != nil {
+		t.Error("Place lookup broken")
+	}
+	if m.NumPlaces() != 1 || len(m.Places()) != 1 {
+		t.Error("place counts wrong")
+	}
+	a := m.AddTimedActivity("act", mustDet(t, 1))
+	if m.Activity("act") != a || m.NumActivities() != 1 || len(m.Activities()) != 1 {
+		t.Error("activity bookkeeping broken")
+	}
+	if a.Kind() != Timed || a.Kind().String() != "timed" {
+		t.Errorf("Kind = %v", a.Kind())
+	}
+	inst := m.AddInstantaneousActivity("inst")
+	if inst.Kind() != Instantaneous || inst.Kind().String() != "instantaneous" {
+		t.Errorf("Kind = %v", inst.Kind())
+	}
+	if ActivityKind(0).String() == "timed" {
+		t.Error("zero kind should not be valid")
+	}
+	im := m.InitialMarking()
+	if len(im) != 1 || im[0] != 3 {
+		t.Errorf("InitialMarking = %v", im)
+	}
+}
+
+func TestDuplicateNamesRejected(t *testing.T) {
+	m := NewModel("dup")
+	m.AddPlace("p", 0)
+	if _, err := m.AddPlaceErr("p", 0); err == nil {
+		t.Error("duplicate place accepted")
+	}
+	if _, err := m.AddPlaceErr("neg", -1); err == nil {
+		t.Error("negative initial marking accepted")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AddPlace duplicate did not panic")
+			}
+		}()
+		m.AddPlace("p", 0)
+	}()
+	m.AddTimedActivity("a", mustDet(t, 1))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate activity did not panic")
+			}
+		}()
+		m.AddTimedActivity("a", mustDet(t, 1))
+	}()
+}
+
+func TestValidate(t *testing.T) {
+	good, _ := buildFailRepair(t, 100, 10)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+
+	// Timed activity without delay.
+	bad := NewModel("bad")
+	bad.AddPlace("p", 1)
+	bad.addActivity("nodelay", Timed, nil)
+	if err := bad.Validate(); err == nil {
+		t.Error("model with missing delay validated")
+	}
+
+	// Foreign place.
+	other := NewModel("other")
+	foreign := other.AddPlace("foreign", 0)
+	m2 := NewModel("m2")
+	m2.AddTimedActivity("a", mustDet(t, 1)).AddInputArc(foreign, 1)
+	if err := m2.Validate(); err == nil {
+		t.Error("foreign place accepted")
+	}
+
+	// Non-positive multiplicity.
+	m3 := NewModel("m3")
+	p3 := m3.AddPlace("p", 1)
+	m3.AddTimedActivity("a", mustDet(t, 1)).AddInputArc(p3, 0)
+	if err := m3.Validate(); err == nil {
+		t.Error("zero multiplicity accepted")
+	}
+
+	// Case probabilities that do not sum to one.
+	m4 := NewModel("m4")
+	p4 := m4.AddPlace("p", 1)
+	act := m4.AddTimedActivity("a", mustDet(t, 1)).AddInputArc(p4, 1)
+	act.AddCase(Case{Probability: func(MarkingReader) float64 { return 0.3 }})
+	act.AddCase(Case{Probability: func(MarkingReader) float64 { return 0.3 }})
+	if err := m4.Validate(); err == nil {
+		t.Error("case probabilities summing to 0.6 accepted")
+	}
+
+	// Gate reading a foreign place.
+	m5 := NewModel("m5")
+	p5 := m5.AddPlace("p", 1)
+	m5.AddTimedActivity("a", mustDet(t, 1)).AddInputArc(p5, 1).
+		AddInputGate(&InputGate{Name: "g", Reads: []*Place{foreign}, Enabled: func(MarkingReader) bool { return true }})
+	if err := m5.Validate(); err == nil {
+		t.Error("gate reading foreign place accepted")
+	}
+}
+
+func TestSimulatorValidation(t *testing.T) {
+	m, up := buildFailRepair(t, 100, 10)
+	stream := rng.NewStream(1, "t")
+	if _, err := NewSimulator(nil, nil, stream); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewSimulator(m, nil, nil); err == nil {
+		t.Error("nil stream accepted")
+	}
+	badReward := []RewardVariable{{Name: "", Mode: TimeAveraged, Rate: func(MarkingReader) float64 { return 1 }}}
+	if _, err := NewSimulator(m, badReward, stream); err == nil {
+		t.Error("empty reward name accepted")
+	}
+	noContent := []RewardVariable{{Name: "x", Mode: TimeAveraged}}
+	if _, err := NewSimulator(m, noContent, stream); err == nil {
+		t.Error("reward without rate or impulses accepted")
+	}
+	badMode := []RewardVariable{{Name: "x", Rate: func(MarkingReader) float64 { return 1 }}}
+	if _, err := NewSimulator(m, badMode, stream); err == nil {
+		t.Error("reward without mode accepted")
+	}
+	badImpulse := []RewardVariable{{Name: "x", Mode: Accumulated, Impulses: map[string]ImpulseFunc{"nope": func(MarkingReader) float64 { return 1 }}}}
+	if _, err := NewSimulator(m, badImpulse, stream); err == nil {
+		t.Error("impulse on unknown activity accepted")
+	}
+	instMix := []RewardVariable{{Name: "x", Mode: InstantAtEnd, Rate: func(MarkingReader) float64 { return 1 },
+		Impulses: map[string]ImpulseFunc{"fail": func(MarkingReader) float64 { return 1 }}}}
+	if _, err := NewSimulator(m, instMix, stream); err == nil {
+		t.Error("instant-of-time reward with impulses accepted")
+	}
+	good := []RewardVariable{UpFraction("avail", func(mr MarkingReader) bool { return mr.Tokens(up) == 1 })}
+	if _, err := NewSimulator(m, good, stream); err != nil {
+		t.Errorf("valid simulator rejected: %v", err)
+	}
+}
+
+func TestRunRejectsBadMission(t *testing.T) {
+	m, _ := buildFailRepair(t, 100, 10)
+	sim, err := NewSimulator(m, nil, rng.NewStream(1, "t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mission := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := sim.Run(mission); err == nil {
+			t.Errorf("Run(%v) succeeded", mission)
+		}
+	}
+}
+
+func TestAvailabilityMatchesAnalytic(t *testing.T) {
+	// Two-state model: availability = MTTF/(MTTF+MTTR) = 100/110.
+	m, up := buildFailRepair(t, 100, 10)
+	rewards := []RewardVariable{UpFraction("avail", func(mr MarkingReader) bool { return mr.Tokens(up) == 1 })}
+	res, err := RunReplications(m, rewards, Options{Mission: 20000, Replications: 60, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100.0 / 110.0
+	got := res.Mean("avail")
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("availability = %v, want ~%v", got, want)
+	}
+	ci, err := res.Interval("avail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.HalfWidth <= 0 || ci.HalfWidth > 0.05 {
+		t.Errorf("unexpected CI half width %v", ci.HalfWidth)
+	}
+	if res.TotalEvents == 0 {
+		t.Error("no events executed")
+	}
+	if _, err := res.Interval("nope"); err == nil {
+		t.Error("unknown reward interval succeeded")
+	}
+	if !math.IsNaN(res.Mean("nope")) {
+		t.Error("unknown reward mean should be NaN")
+	}
+}
+
+func TestDeterministicCycleAvailability(t *testing.T) {
+	// up 10h, down 5h, repeating: over a 30h mission availability = 20/30.
+	m := NewModel("det")
+	up := m.AddPlace("up", 1)
+	down := m.AddPlace("down", 0)
+	m.AddTimedActivity("fail", mustDet(t, 10)).AddInputArc(up, 1).AddOutputArc(down, 1)
+	m.AddTimedActivity("repair", mustDet(t, 5)).AddInputArc(down, 1).AddOutputArc(up, 1)
+	sim, err := NewSimulator(m, []RewardVariable{
+		UpFraction("avail", func(mr MarkingReader) bool { return mr.Tokens(up) == 1 }),
+		CompletionCount("failures", "fail"),
+		{Name: "final_up", Mode: InstantAtEnd, Rate: func(mr MarkingReader) float64 { return float64(mr.Tokens(up)) }},
+	}, rng.NewStream(3, "det"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rewards["avail"]; math.Abs(got-20.0/30.0) > 1e-9 {
+		t.Errorf("availability = %v, want %v", got, 20.0/30.0)
+	}
+	if got := res.Rewards["failures"]; got != 2 {
+		t.Errorf("failures = %v, want 2 (at t=10 and t=25)", got)
+	}
+	// Up at 15, fails again at 25, and the repair completing exactly at the
+	// t=30 horizon is executed (inclusive horizon), so the component ends up.
+	if got := res.Rewards["final_up"]; got != 1 {
+		t.Errorf("final_up = %v, want 1", got)
+	}
+	if res.FinalTime != 30 {
+		t.Errorf("FinalTime = %v", res.FinalTime)
+	}
+}
+
+func TestSourceActivityKeepsFiring(t *testing.T) {
+	// An activity with no input arcs must fire repeatedly (job arrivals).
+	m := NewModel("source")
+	count := m.AddPlace("count", 0)
+	m.AddTimedActivity("arrive", mustDet(t, 1)).AddOutputArc(count, 1)
+	sim, err := NewSimulator(m, []RewardVariable{CompletionCount("arrivals", "arrive")}, rng.NewStream(1, "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(100.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rewards["arrivals"]; got != 100 {
+		t.Errorf("arrivals = %v, want 100", got)
+	}
+}
+
+func TestInputGateEnabling(t *testing.T) {
+	// Activity gated on a threshold: fires only while gatePlace >= 2.
+	m := NewModel("gate")
+	gatePlace := m.AddPlace("level", 0)
+	fired := m.AddPlace("fired", 0)
+	m.AddTimedActivity("tick", mustDet(t, 1)).AddOutputArc(gatePlace, 1)
+	m.AddTimedActivity("gated", mustDet(t, 0.6)).
+		AddInputGate(&InputGate{
+			Name:    "atLeast2",
+			Reads:   []*Place{gatePlace},
+			Enabled: func(mr MarkingReader) bool { return mr.Tokens(gatePlace) >= 2 },
+		}).
+		AddOutputArc(fired, 1)
+	sim, err := NewSimulator(m, []RewardVariable{
+		{Name: "fired", Mode: InstantAtEnd, Rate: func(mr MarkingReader) float64 { return float64(mr.Tokens(fired)) }},
+	}, rng.NewStream(2, "gate"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// level reaches 2 at t=2; gated becomes enabled then and fires at 2.6 and 3.2.
+	if got := res.Rewards["fired"]; got != 2 {
+		t.Errorf("gated activity fired %v times, want 2", got)
+	}
+}
+
+func TestInputGateTransformAndOutputGate(t *testing.T) {
+	// Input gate transform drains a place; output gate sets another.
+	m := NewModel("gates")
+	pool := m.AddPlace("pool", 5)
+	drained := m.AddPlace("drained", 0)
+	flag := m.AddPlace("flag", 0)
+	m.AddTimedActivity("act", mustDet(t, 1)).
+		AddInputGate(&InputGate{
+			Name:    "drain",
+			Reads:   []*Place{pool},
+			Enabled: func(mr MarkingReader) bool { return mr.Tokens(pool) > 0 },
+			Transform: func(mw MarkingWriter) {
+				mw.Add(drained, mw.Tokens(pool))
+				mw.SetTokens(pool, 0)
+			},
+		}).
+		AddOutputGate(&OutputGate{Name: "setFlag", Transform: func(mw MarkingWriter) { mw.SetTokens(flag, 1) }})
+	sim, err := NewSimulator(m, []RewardVariable{
+		{Name: "drained", Mode: InstantAtEnd, Rate: func(mr MarkingReader) float64 { return float64(mr.Tokens(drained)) }},
+		{Name: "flag", Mode: InstantAtEnd, Rate: func(mr MarkingReader) float64 { return float64(mr.Tokens(flag)) }},
+	}, rng.NewStream(4, "gates"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rewards["drained"] != 5 || res.Rewards["flag"] != 1 {
+		t.Errorf("rewards = %v, want drained=5 flag=1", res.Rewards)
+	}
+}
+
+func TestCasesSplitProbability(t *testing.T) {
+	// 30/70 split between two cases, verified against completion counts.
+	m := NewModel("cases")
+	left := m.AddPlace("left", 0)
+	right := m.AddPlace("right", 0)
+	act := m.AddTimedActivity("branch", mustDet(t, 1))
+	act.AddCase(Case{
+		Probability: func(MarkingReader) float64 { return 0.3 },
+		OutputArcs:  []Arc{{Place: left, Mult: 1}},
+	})
+	act.AddCase(Case{
+		Probability: func(MarkingReader) float64 { return 0.7 },
+		OutputArcs:  []Arc{{Place: right, Mult: 1}},
+	})
+	sim, err := NewSimulator(m, []RewardVariable{
+		{Name: "left", Mode: InstantAtEnd, Rate: func(mr MarkingReader) float64 { return float64(mr.Tokens(left)) }},
+		{Name: "right", Mode: InstantAtEnd, Rate: func(mr MarkingReader) float64 { return float64(mr.Tokens(right)) }},
+	}, rng.NewStream(5, "cases"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Rewards["left"] + res.Rewards["right"]
+	if total < 19990 || total > 20000 {
+		t.Fatalf("total branches = %v", total)
+	}
+	frac := res.Rewards["left"] / total
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Errorf("left fraction = %v, want ~0.3", frac)
+	}
+}
+
+func TestNilProbabilityCaseGetsRemainder(t *testing.T) {
+	m := NewModel("nilcase")
+	a := m.AddPlace("a", 0)
+	b := m.AddPlace("b", 0)
+	act := m.AddTimedActivity("branch", mustDet(t, 1))
+	act.AddCase(Case{
+		Probability: func(MarkingReader) float64 { return 0.25 },
+		OutputArcs:  []Arc{{Place: a, Mult: 1}},
+	})
+	act.AddCase(Case{OutputArcs: []Arc{{Place: b, Mult: 1}}}) // remainder: 0.75
+	sim, err := NewSimulator(m, []RewardVariable{
+		{Name: "a", Mode: InstantAtEnd, Rate: func(mr MarkingReader) float64 { return float64(mr.Tokens(a)) }},
+		{Name: "b", Mode: InstantAtEnd, Rate: func(mr MarkingReader) float64 { return float64(mr.Tokens(b)) }},
+	}, rng.NewStream(6, "nilcase"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := res.Rewards["a"] / (res.Rewards["a"] + res.Rewards["b"])
+	if math.Abs(frac-0.25) > 0.03 {
+		t.Errorf("case-a fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestInstantaneousActivity(t *testing.T) {
+	// A token arriving in "trigger" is immediately moved to "sink" by an
+	// instantaneous activity.
+	m := NewModel("inst")
+	trigger := m.AddPlace("trigger", 0)
+	sink := m.AddPlace("sink", 0)
+	m.AddTimedActivity("produce", mustDet(t, 2)).AddOutputArc(trigger, 1)
+	m.AddInstantaneousActivity("move").AddInputArc(trigger, 1).AddOutputArc(sink, 1)
+	sim, err := NewSimulator(m, []RewardVariable{
+		TokenTimeAverage("avg_trigger", trigger),
+		{Name: "sink", Mode: InstantAtEnd, Rate: func(mr MarkingReader) float64 { return float64(mr.Tokens(sink)) }},
+	}, rng.NewStream(7, "inst"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(10.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rewards["sink"]; got != 5 {
+		t.Errorf("sink = %v, want 5", got)
+	}
+	if got := res.Rewards["avg_trigger"]; got != 0 {
+		t.Errorf("average trigger tokens = %v, want 0 (instantaneous drain)", got)
+	}
+}
+
+func TestUnstableInstantaneousLoopDetected(t *testing.T) {
+	// Two instantaneous activities that keep toggling a token form an
+	// unstable (vanishing) loop; the simulator must stop rather than hang.
+	m := NewModel("unstable")
+	a := m.AddPlace("a", 1)
+	b := m.AddPlace("b", 0)
+	kick := m.AddPlace("kick", 0)
+	m.AddTimedActivity("start", mustDet(t, 1)).AddOutputArc(kick, 1)
+	m.AddInstantaneousActivity("ab").AddInputArc(a, 1).AddInputArc(kick, 1).AddOutputArc(b, 1).AddOutputArc(kick, 1)
+	m.AddInstantaneousActivity("ba").AddInputArc(b, 1).AddInputArc(kick, 1).AddOutputArc(a, 1).AddOutputArc(kick, 1)
+	sim, err := NewSimulator(m, nil, rng.NewStream(8, "unstable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The run terminates (does not hang); the unstable loop stops the engine
+	// after the bound is hit, so fewer than all timed firings may occur.
+	if res.FinalTime != 10 {
+		t.Errorf("FinalTime = %v", res.FinalTime)
+	}
+}
+
+func TestReactivation(t *testing.T) {
+	// With reactivation, the delay distribution is resampled on marking
+	// change. Here the delay function depends on the marking: once "boost"
+	// holds a token the activity becomes much faster. Without reactivation
+	// the originally sampled (slow) time would stand.
+	m := NewModel("react")
+	boost := m.AddPlace("boost", 0)
+	done := m.AddPlace("done", 0)
+	m.AddTimedActivity("boosting", mustDet(t, 1)).AddOutputArc(boost, 1)
+	slowFast := m.AddTimedActivityFunc("work", func(mr MarkingReader) dist.Distribution {
+		if mr.Tokens(boost) > 0 {
+			return mustDet(t, 0.5)
+		}
+		return mustDet(t, 100)
+	})
+	slowFast.AddOutputArc(done, 1)
+	slowFast.AddInputGate(&InputGate{
+		Name:    "watchBoost",
+		Reads:   []*Place{boost},
+		Enabled: func(MarkingReader) bool { return true },
+	})
+	slowFast.SetReactivation(true)
+	sim, err := NewSimulator(m, []RewardVariable{
+		{Name: "done", Mode: InstantAtEnd, Rate: func(mr MarkingReader) float64 { return float64(mr.Tokens(done)) }},
+	}, rng.NewStream(9, "react"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rewards["done"]; got < 1 {
+		t.Errorf("done = %v, want >=1 (reactivation should speed up the activity)", got)
+	}
+}
+
+func TestMarkingWriterRejectsNegative(t *testing.T) {
+	m := NewModel("neg")
+	p := m.AddPlace("p", 0)
+	mk := newMarking(m.InitialMarking())
+	defer func() {
+		if recover() == nil {
+			t.Error("negative SetTokens did not panic")
+		}
+	}()
+	mk.SetTokens(p, -1)
+}
+
+func TestRunReplicationsValidation(t *testing.T) {
+	m, _ := buildFailRepair(t, 100, 10)
+	if _, err := RunReplications(m, nil, Options{Replications: 1}); err == nil {
+		t.Error("1 replication accepted")
+	}
+	bad := []RewardVariable{{Name: "x", Mode: TimeAveraged}}
+	if _, err := RunReplications(m, bad, Options{Replications: 4}); err == nil {
+		t.Error("bad reward accepted")
+	}
+}
+
+func TestRunReplicationsDeterministicAcrossParallelism(t *testing.T) {
+	m, up := buildFailRepair(t, 50, 5)
+	rewards := []RewardVariable{UpFraction("avail", func(mr MarkingReader) bool { return mr.Tokens(up) == 1 })}
+	seq, err := RunReplications(m, rewards, Options{Mission: 2000, Replications: 16, Seed: 11, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunReplications(m, rewards, Options{Mission: 2000, Replications: 16, Seed: 11, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(seq.Mean("avail")-par.Mean("avail")) > 1e-12 {
+		t.Errorf("parallelism changed results: %v vs %v", seq.Mean("avail"), par.Mean("avail"))
+	}
+}
+
+func TestComposeHelpers(t *testing.T) {
+	m := NewModel("composed")
+	shared := m.AddPlace("shared/clock", 0)
+	// Replicate three components that all feed the shared place.
+	err := Replicate(m, "component", 3, func(m *Model, prefix string, index int) error {
+		up, err := m.AddPlaceErr(Qualify(prefix, "up"), 1)
+		if err != nil {
+			return err
+		}
+		m.AddTimedActivity(Qualify(prefix, "fail"), mustDet(t, float64(index+1))).
+			AddInputArc(up, 1).AddOutputArc(shared, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Join(m, "cfs", map[string]SubmodelBuilder{
+		"meta": func(m *Model, prefix string) error {
+			m.AddPlace(Qualify(prefix, "up"), 1)
+			return nil
+		},
+		"data": func(m *Model, prefix string) error {
+			m.AddPlace(Qualify(prefix, "up"), 1)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Place("component[0]/up") == nil || m.Place("component[2]/up") == nil {
+		t.Error("replicated places missing")
+	}
+	if m.Place("cfs/meta/up") == nil || m.Place("cfs/data/up") == nil {
+		t.Error("joined places missing")
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("composed model invalid: %v", err)
+	}
+	if err := Replicate(m, "x", -1, nil); err == nil {
+		t.Error("negative replicate count accepted")
+	}
+	// Builder errors propagate.
+	err = Join(m, "bad", map[string]SubmodelBuilder{
+		"dup": func(m *Model, prefix string) error {
+			_, err := m.AddPlaceErr("shared/clock", 0)
+			return err
+		},
+	})
+	if err == nil {
+		t.Error("join builder error not propagated")
+	}
+	if got := Qualify("", "x"); got != "x" {
+		t.Errorf("Qualify empty prefix = %q", got)
+	}
+}
+
+func TestCompositionTreeRendering(t *testing.T) {
+	tree := NewJoinNode("CLUSTER",
+		NewAtomicNode("CLIENT"),
+		NewJoinNode("CFS_UNIT",
+			NewAtomicNode("OSS"),
+			NewAtomicNode("OSS_SAN_NW"),
+			NewAtomicNode("SAN"),
+			NewReplicateNode("DDN_UNITS", 2,
+				NewJoinNode("DDN",
+					NewAtomicNode("RAID_CONTROLLER"),
+					NewReplicateNode("RAID6_TIERS", 24, NewAtomicNode("RAID6_TIER")),
+				),
+			),
+		),
+	)
+	out := tree.Render()
+	for _, want := range []string{"Join(CLUSTER)", "SAN(CLIENT)", "Replicate(DDN_UNITS, n=2)", "Replicate(RAID6_TIERS, n=24)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered tree missing %q:\n%s", want, out)
+		}
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != 6 {
+		t.Errorf("leaves = %v, want 6 atomic submodels", leaves)
+	}
+}
+
+func TestRewardModeString(t *testing.T) {
+	if TimeAveraged.String() != "time-averaged" || Accumulated.String() != "accumulated" || InstantAtEnd.String() != "instant-at-end" {
+		t.Error("RewardMode strings wrong")
+	}
+	if RewardMode(0).String() == "time-averaged" {
+		t.Error("zero mode should not alias a valid mode")
+	}
+}
+
+// Property: in a closed token ring (tokens only move between places), the
+// total token count is conserved and availability-style rewards stay in
+// [0,1].
+func TestQuickTokenConservationAndRewardBounds(t *testing.T) {
+	f := func(seed uint64, nPlaces, tokens uint8) bool {
+		n := int(nPlaces%5) + 2
+		k := int(tokens%4) + 1
+		m := NewModel("ring")
+		places := make([]*Place, n)
+		for i := range places {
+			init := 0
+			if i == 0 {
+				init = k
+			}
+			places[i] = m.AddPlace(Qualify("p", itoa(i)), init)
+		}
+		for i := range places {
+			next := places[(i+1)%n]
+			m.AddTimedActivity(Qualify("move", itoa(i)), mustExp(t, float64(i+1))).
+				AddInputArc(places[i], 1).AddOutputArc(next, 1)
+		}
+		total := func(mr MarkingReader) int {
+			sum := 0
+			for _, p := range places {
+				sum += mr.Tokens(p)
+			}
+			return sum
+		}
+		rewards := []RewardVariable{
+			UpFraction("frac_p0_nonempty", func(mr MarkingReader) bool { return mr.Tokens(places[0]) > 0 }),
+			{Name: "final_total", Mode: InstantAtEnd, Rate: func(mr MarkingReader) float64 { return float64(total(mr)) }},
+		}
+		sim, err := NewSimulator(m, rewards, rng.NewStream(seed, "ring"))
+		if err != nil {
+			return false
+		}
+		res, err := sim.Run(50)
+		if err != nil {
+			return false
+		}
+		if int(res.Rewards["final_total"]) != k {
+			return false
+		}
+		frac := res.Rewards["frac_p0_nonempty"]
+		return frac >= 0 && frac <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// itoa is a tiny helper converting an int to a string without importing
+// strconv in every call site of the property test.
+func itoa(i int) string {
+	if i < 0 {
+		return "-" + itoa(-i)
+	}
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return itoa(i/10) + string(rune('0'+i%10))
+}

@@ -1,0 +1,590 @@
+package san
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// marking is the simulator's mutable token vector. It records which places
+// changed during an activity completion so that only dependent activities
+// need to be re-evaluated.
+type marking struct {
+	tokens  []int
+	touched []int  // indices of places changed since last clearTouched
+	dirty   []bool // per-place "already recorded as touched" flag
+}
+
+func newMarking(initial []int) *marking {
+	tokens := make([]int, len(initial))
+	copy(tokens, initial)
+	return &marking{tokens: tokens, dirty: make([]bool, len(initial))}
+}
+
+// Tokens implements MarkingReader.
+func (m *marking) Tokens(p *Place) int { return m.tokens[p.index] }
+
+// SetTokens implements MarkingWriter.
+func (m *marking) SetTokens(p *Place, n int) {
+	if n < 0 {
+		panic(fmt.Errorf("%w: place %q set to %d", ErrNegativeTokens, p.name, n))
+	}
+	if m.tokens[p.index] != n {
+		m.tokens[p.index] = n
+		m.touch(p.index)
+	}
+}
+
+// Add implements MarkingWriter.
+func (m *marking) Add(p *Place, delta int) {
+	m.SetTokens(p, m.tokens[p.index]+delta)
+}
+
+func (m *marking) touch(idx int) {
+	if !m.dirty[idx] {
+		m.dirty[idx] = true
+		m.touched = append(m.touched, idx)
+	}
+}
+
+func (m *marking) clearTouched() {
+	for _, idx := range m.touched {
+		m.dirty[idx] = false
+	}
+	m.touched = m.touched[:0]
+}
+
+// Result holds the reward values of a single replication.
+type Result struct {
+	// Rewards maps reward-variable name to its value for this replication.
+	Rewards map[string]float64
+	// Events is the number of activity completions executed.
+	Events uint64
+	// FinalTime is the simulation end time (the mission time).
+	FinalTime float64
+}
+
+// Simulator runs terminating simulations of a SAN model.
+type Simulator struct {
+	model   *Model
+	rewards []RewardVariable
+	stream  *rng.Stream
+
+	// dependents[placeIndex] lists activities whose enabling can change when
+	// that place's marking changes.
+	dependents [][]*Activity
+
+	// impulsesByActivity[activityIndex] lists the impulse rewards earned
+	// when that activity completes, pre-resolved from the reward variables'
+	// name-keyed maps so the hot path avoids string lookups.
+	impulsesByActivity [][]impulseBinding
+
+	// instantaneous caches the model's instantaneous activities so the
+	// vanishing-marking resolution step does not scan every activity when
+	// (as in the CFS models) there are none.
+	instantaneous []*Activity
+
+	// seenGeneration/currentGeneration implement an allocation-free "visited
+	// this event" set over activities for reconcile.
+	seenGeneration    []uint64
+	currentGeneration uint64
+
+	// maxInstFirings bounds consecutive instantaneous completions at one
+	// time instant to detect ill-formed models (vanishing-marking loops).
+	maxInstFirings int
+}
+
+// impulseBinding couples a reward index with the impulse function to apply.
+type impulseBinding struct {
+	rewardIndex int
+	fn          ImpulseFunc
+}
+
+// ErrUnstableModel reports a model that fires instantaneous activities in an
+// unbounded loop without time advancing.
+var ErrUnstableModel = errors.New("san: instantaneous activity loop (unstable model)")
+
+// NewSimulator validates the model and reward variables and returns a
+// simulator drawing randomness from stream.
+func NewSimulator(model *Model, rewards []RewardVariable, stream *rng.Stream) (*Simulator, error) {
+	if model == nil {
+		return nil, errors.New("san: nil model")
+	}
+	if stream == nil {
+		return nil, errors.New("san: nil random stream")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	for _, rv := range rewards {
+		if err := rv.validate(model); err != nil {
+			return nil, err
+		}
+	}
+	s := &Simulator{
+		model:          model,
+		rewards:        rewards,
+		stream:         stream,
+		maxInstFirings: 10000,
+		seenGeneration: make([]uint64, model.NumActivities()),
+	}
+	s.buildDependents()
+	s.buildImpulseIndex()
+	for _, a := range model.activities {
+		if a.kind == Instantaneous {
+			s.instantaneous = append(s.instantaneous, a)
+		}
+	}
+	return s, nil
+}
+
+// buildImpulseIndex resolves the name-keyed impulse maps of every reward
+// variable to activity indices once, so completions do not perform string
+// map lookups.
+func (s *Simulator) buildImpulseIndex() {
+	s.impulsesByActivity = make([][]impulseBinding, s.model.NumActivities())
+	for ri, rv := range s.rewards {
+		for actName, fn := range rv.Impulses {
+			a := s.model.Activity(actName)
+			if a == nil {
+				continue // validated earlier; defensive
+			}
+			s.impulsesByActivity[a.index] = append(s.impulsesByActivity[a.index], impulseBinding{rewardIndex: ri, fn: fn})
+		}
+	}
+}
+
+// buildDependents indexes, for each place, the activities whose enabling
+// condition reads that place (through input arcs or declared gate reads).
+func (s *Simulator) buildDependents() {
+	s.dependents = make([][]*Activity, s.model.NumPlaces())
+	add := func(p *Place, a *Activity) {
+		for _, existing := range s.dependents[p.index] {
+			if existing == a {
+				return
+			}
+		}
+		s.dependents[p.index] = append(s.dependents[p.index], a)
+	}
+	for _, a := range s.model.activities {
+		for _, arc := range a.inputArcs {
+			add(arc.Place, a)
+		}
+		for _, g := range a.inputGates {
+			for _, p := range g.Reads {
+				add(p, a)
+			}
+		}
+	}
+}
+
+// runState is the per-replication mutable state.
+type runState struct {
+	mark      *marking
+	engine    *des.Engine
+	scheduled []*des.Event // per-activity pending completion (nil if not scheduled)
+
+	// Reward accumulation.
+	rateAccum []float64 // integral of rate reward so far
+	lastRate  []float64 // rate value since last marking change
+	lastTime  float64
+	impulses  []float64
+}
+
+// Run executes a single terminating replication over [0, mission] hours and
+// returns the reward values.
+func (s *Simulator) Run(mission float64) (Result, error) {
+	if !(mission > 0) || math.IsInf(mission, 0) || math.IsNaN(mission) {
+		return Result{}, fmt.Errorf("san: invalid mission time %v", mission)
+	}
+	st := &runState{
+		mark:      newMarking(s.model.InitialMarking()),
+		engine:    des.NewEngine(),
+		scheduled: make([]*des.Event, s.model.NumActivities()),
+		rateAccum: make([]float64, len(s.rewards)),
+		lastRate:  make([]float64, len(s.rewards)),
+		impulses:  make([]float64, len(s.rewards)),
+	}
+
+	// Resolve initial instantaneous activities, then schedule enabled timed
+	// activities, then capture initial reward rates.
+	if err := s.fireInstantaneous(st); err != nil {
+		return Result{}, err
+	}
+	for _, a := range s.model.activities {
+		s.refreshActivity(st, a)
+	}
+	s.snapshotRates(st)
+
+	st.engine.Run(mission)
+
+	// Close out reward integration at the mission end.
+	s.integrateRates(st, mission)
+
+	res := Result{Rewards: make(map[string]float64, len(s.rewards)), Events: st.engine.Fired(), FinalTime: mission}
+	for i, rv := range s.rewards {
+		switch rv.Mode {
+		case TimeAveraged:
+			res.Rewards[rv.Name] = (st.rateAccum[i] + st.impulses[i]) / mission
+		case Accumulated:
+			res.Rewards[rv.Name] = st.rateAccum[i] + st.impulses[i]
+		case InstantAtEnd:
+			if rv.Rate != nil {
+				res.Rewards[rv.Name] = rv.Rate(st.mark)
+			}
+		}
+	}
+	return res, nil
+}
+
+// snapshotRates records the current reward rates so that the next
+// integration step uses the post-change values.
+func (s *Simulator) snapshotRates(st *runState) {
+	for i, rv := range s.rewards {
+		if rv.Rate != nil {
+			st.lastRate[i] = rv.Rate(st.mark)
+		}
+	}
+}
+
+// integrateRates advances the rate-reward integrals from st.lastTime to now.
+func (s *Simulator) integrateRates(st *runState, now float64) {
+	dt := now - st.lastTime
+	if dt > 0 {
+		for i := range s.rewards {
+			st.rateAccum[i] += st.lastRate[i] * dt
+		}
+		st.lastTime = now
+	}
+}
+
+// refreshActivity reconciles the scheduling state of a single activity with
+// the current marking: scheduling a completion if it became enabled,
+// canceling if it became disabled, or resampling if reactivation is on.
+func (s *Simulator) refreshActivity(st *runState, a *Activity) {
+	if a.kind != Timed {
+		return
+	}
+	enabled := a.enabled(st.mark)
+	pending := st.scheduled[a.index]
+	switch {
+	case enabled && pending == nil:
+		s.scheduleCompletion(st, a)
+	case !enabled && pending != nil:
+		st.engine.Cancel(pending)
+		st.scheduled[a.index] = nil
+	case enabled && pending != nil && a.reactivate:
+		st.engine.Cancel(pending)
+		st.scheduled[a.index] = nil
+		s.scheduleCompletion(st, a)
+	}
+}
+
+func (s *Simulator) scheduleCompletion(st *runState, a *Activity) {
+	d := a.delay(st.mark)
+	delay := d.Sample(s.stream)
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	ev, err := st.engine.ScheduleAfter(delay, func(now float64) {
+		st.scheduled[a.index] = nil
+		s.complete(st, a, now)
+	})
+	if err != nil {
+		// ScheduleAfter only fails for NaN/negative times, which the clamp
+		// above prevents; treat any residual failure as a disabled activity.
+		return
+	}
+	st.scheduled[a.index] = ev
+}
+
+// complete fires activity a at time now: integrates rewards up to now,
+// applies the marking change, earns impulse rewards, and reconciles the
+// activities whose enabling may have changed.
+func (s *Simulator) complete(st *runState, a *Activity, now float64) {
+	// A timed activity may have been disabled and re-enabled between
+	// scheduling and firing only via Cancel, so reaching here means it is
+	// still enabled; still, guard against stale enabling caused by gate
+	// functions that mutate undeclared places.
+	if !a.enabled(st.mark) {
+		s.refreshActivity(st, a)
+		return
+	}
+	s.integrateRates(st, now)
+	s.fire(st, a)
+
+	// Earn impulse rewards for this completion.
+	for _, ib := range s.impulsesByActivity[a.index] {
+		st.impulses[ib.rewardIndex] += ib.fn(st.mark)
+	}
+
+	if err := s.fireInstantaneous(st); err != nil {
+		// Surface the instability by stopping the run; Run's caller sees a
+		// shorter event count but rewards remain well-defined.
+		st.engine.Stop()
+	}
+	s.reconcile(st)
+	// The completed activity may still (or again) be enabled — e.g. a source
+	// activity with no input arcs — and is not necessarily covered by the
+	// dependency index, so reconcile it explicitly.
+	s.refreshActivity(st, a)
+	s.snapshotRates(st)
+}
+
+// fire applies the marking transformation of a single activity completion.
+func (s *Simulator) fire(st *runState, a *Activity) {
+	// Input side: remove tokens, run input-gate transformations.
+	for _, arc := range a.inputArcs {
+		st.mark.Add(arc.Place, -arc.Mult)
+	}
+	for _, g := range a.inputGates {
+		if g.Transform != nil {
+			g.Transform(st.mark)
+		}
+	}
+	// Select a case.
+	c := s.selectCase(st, a)
+	if c != nil {
+		for _, arc := range c.OutputArcs {
+			st.mark.Add(arc.Place, arc.Mult)
+		}
+		for _, og := range c.OutputGates {
+			if og.Transform != nil {
+				og.Transform(st.mark)
+			}
+		}
+	}
+}
+
+// selectCase picks a probabilistic case of a. Activities without cases
+// return nil; a single case is returned directly.
+func (s *Simulator) selectCase(st *runState, a *Activity) *Case {
+	switch len(a.cases) {
+	case 0:
+		return nil
+	case 1:
+		return &a.cases[0]
+	}
+	u := s.stream.Float64()
+	// Cases with nil probability share the mass left over by explicit ones.
+	var explicit float64
+	nilCount := 0
+	for _, c := range a.cases {
+		if c.Probability != nil {
+			explicit += c.Probability(st.mark)
+		} else {
+			nilCount++
+		}
+	}
+	remainder := math.Max(0, 1-explicit)
+	cum := 0.0
+	for i := range a.cases {
+		p := remainder / float64(maxInt(nilCount, 1))
+		if a.cases[i].Probability != nil {
+			p = a.cases[i].Probability(st.mark)
+		}
+		cum += p
+		if u < cum {
+			return &a.cases[i]
+		}
+	}
+	return &a.cases[len(a.cases)-1]
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// fireInstantaneous repeatedly fires enabled instantaneous activities until
+// none remain enabled, returning ErrUnstableModel if the loop does not
+// terminate within the configured bound.
+func (s *Simulator) fireInstantaneous(st *runState) error {
+	if len(s.instantaneous) == 0 {
+		return nil
+	}
+	for iter := 0; ; iter++ {
+		if iter > s.maxInstFirings {
+			return fmt.Errorf("%w after %d firings", ErrUnstableModel, iter)
+		}
+		fired := false
+		for _, a := range s.instantaneous {
+			if a.enabled(st.mark) {
+				s.fire(st, a)
+				for _, ib := range s.impulsesByActivity[a.index] {
+					st.impulses[ib.rewardIndex] += ib.fn(st.mark)
+				}
+				fired = true
+			}
+		}
+		if !fired {
+			return nil
+		}
+	}
+}
+
+// reconcile refreshes the scheduling state of every activity that depends on
+// a place whose marking changed during the last completion.
+func (s *Simulator) reconcile(st *runState) {
+	if len(st.mark.touched) == 0 {
+		return
+	}
+	s.currentGeneration++
+	gen := s.currentGeneration
+	for _, idx := range st.mark.touched {
+		for _, a := range s.dependents[idx] {
+			if s.seenGeneration[a.index] != gen {
+				s.seenGeneration[a.index] = gen
+				s.refreshActivity(st, a)
+			}
+		}
+	}
+	st.mark.clearTouched()
+}
+
+// ---------------------------------------------------------------------------
+// Replication runner
+// ---------------------------------------------------------------------------
+
+// Options configures a replicated terminating simulation study.
+type Options struct {
+	// Mission is the length of each replication in hours (default 8760, one
+	// year).
+	Mission float64
+	// Replications is the number of independent replications (default 100).
+	Replications int
+	// Confidence is the confidence level for reported intervals
+	// (default 0.95, matching the paper).
+	Confidence float64
+	// Seed seeds the master random stream (default 1).
+	Seed uint64
+	// Parallelism is the number of worker goroutines (default GOMAXPROCS).
+	Parallelism int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Mission == 0 {
+		o.Mission = 8760
+	}
+	if o.Replications == 0 {
+		o.Replications = 100
+	}
+	if o.Confidence == 0 {
+		o.Confidence = 0.95
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// StudyResult aggregates reward estimates across replications.
+type StudyResult struct {
+	// Summaries maps reward names to their cross-replication summaries.
+	Summaries map[string]*stats.Summary
+	// Options echoes the effective options used.
+	Options Options
+	// TotalEvents is the number of activity completions across all
+	// replications.
+	TotalEvents uint64
+}
+
+// Interval returns the confidence interval of the named reward at the
+// study's confidence level.
+func (r *StudyResult) Interval(reward string) (stats.Interval, error) {
+	s, ok := r.Summaries[reward]
+	if !ok {
+		return stats.Interval{}, fmt.Errorf("san: unknown reward %q", reward)
+	}
+	return s.ConfidenceInterval(r.Options.Confidence)
+}
+
+// Mean returns the mean of the named reward across replications, or NaN when
+// the reward is unknown.
+func (r *StudyResult) Mean(reward string) float64 {
+	s, ok := r.Summaries[reward]
+	if !ok {
+		return math.NaN()
+	}
+	return s.Mean()
+}
+
+// RunReplications runs opts.Replications independent terminating simulations
+// of the model and aggregates each reward variable across replications.
+// Replications are distributed over opts.Parallelism goroutines; each worker
+// owns a private Simulator and random stream, so the model itself is shared
+// read-only.
+func RunReplications(model *Model, rewards []RewardVariable, opts Options) (*StudyResult, error) {
+	opts = opts.withDefaults()
+	if opts.Replications < 2 {
+		return nil, fmt.Errorf("san: need at least 2 replications, got %d", opts.Replications)
+	}
+	// Validate once up front so workers cannot fail on validation.
+	master := rng.NewStream(opts.Seed, "study-master")
+	if _, err := NewSimulator(model, rewards, master.Split("validate")); err != nil {
+		return nil, err
+	}
+
+	type repOutcome struct {
+		res Result
+		err error
+	}
+	jobs := make(chan uint64, opts.Replications)
+	outcomes := make(chan repOutcome, opts.Replications)
+	for rep := 0; rep < opts.Replications; rep++ {
+		// Derive one seed per replication from the master stream so results
+		// do not depend on the worker that picks the job up.
+		jobs <- master.Uint64()
+	}
+	close(jobs)
+
+	workers := opts.Parallelism
+	if workers > opts.Replications {
+		workers = opts.Replications
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for seed := range jobs {
+				stream := rng.NewStream(seed, fmt.Sprintf("worker-%d", worker))
+				sim, err := NewSimulator(model, rewards, stream)
+				if err != nil {
+					outcomes <- repOutcome{err: err}
+					continue
+				}
+				res, err := sim.Run(opts.Mission)
+				outcomes <- repOutcome{res: res, err: err}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(outcomes)
+
+	result := &StudyResult{Summaries: make(map[string]*stats.Summary, len(rewards)), Options: opts}
+	for _, rv := range rewards {
+		result.Summaries[rv.Name] = stats.NewSummary()
+	}
+	for out := range outcomes {
+		if out.err != nil {
+			return nil, out.err
+		}
+		result.TotalEvents += out.res.Events
+		for name, value := range out.res.Rewards {
+			result.Summaries[name].Add(value)
+		}
+	}
+	return result, nil
+}

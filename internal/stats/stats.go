@@ -1,0 +1,452 @@
+// Package stats provides the statistical machinery used to report simulation
+// results the way the paper does: running summaries, Student-t confidence
+// intervals at 95%, batch means for steady-state estimation, histograms, and
+// simple regression utilities.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData reports an estimator invoked with too few observations.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Summary accumulates observations with Welford's online algorithm so that a
+// reward variable can be summarized without storing every replication result.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	sum  float64
+}
+
+// NewSummary returns an empty summary.
+func NewSummary() *Summary {
+	return &Summary{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	s.sum += x
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+}
+
+// AddAll records every observation in xs.
+func (s *Summary) AddAll(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Sum returns the sum of observations.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Min returns the smallest observation (+Inf when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (-Inf when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance. It returns 0 when fewer
+// than two observations have been recorded.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// Interval is a two-sided confidence interval around a point estimate.
+type Interval struct {
+	Mean       float64
+	HalfWidth  float64
+	Confidence float64
+	N          int
+}
+
+// Lower returns the lower bound of the interval.
+func (ci Interval) Lower() float64 { return ci.Mean - ci.HalfWidth }
+
+// Upper returns the upper bound of the interval.
+func (ci Interval) Upper() float64 { return ci.Mean + ci.HalfWidth }
+
+// Contains reports whether x lies inside the interval.
+func (ci Interval) Contains(x float64) bool {
+	return x >= ci.Lower() && x <= ci.Upper()
+}
+
+// String formats the interval as "mean ± halfwidth (conf%)".
+func (ci Interval) String() string {
+	return fmt.Sprintf("%.6g ± %.3g (%.0f%%, n=%d)", ci.Mean, ci.HalfWidth, ci.Confidence*100, ci.N)
+}
+
+// ConfidenceInterval returns the Student-t confidence interval of the mean at
+// the given confidence level (e.g. 0.95). It returns ErrInsufficientData when
+// fewer than two observations are available.
+func (s *Summary) ConfidenceInterval(confidence float64) (Interval, error) {
+	if s.n < 2 {
+		return Interval{}, fmt.Errorf("%w: need >=2 observations, have %d", ErrInsufficientData, s.n)
+	}
+	if !(confidence > 0 && confidence < 1) {
+		return Interval{}, fmt.Errorf("stats: confidence %v outside (0,1)", confidence)
+	}
+	tq := StudentTQuantile(1-(1-confidence)/2, float64(s.n-1))
+	return Interval{
+		Mean:       s.mean,
+		HalfWidth:  tq * s.StdErr(),
+		Confidence: confidence,
+		N:          s.n,
+	}, nil
+}
+
+// RelativeHalfWidth returns the confidence-interval half width divided by the
+// mean, used as a stopping criterion for sequential replication.
+func (s *Summary) RelativeHalfWidth(confidence float64) float64 {
+	ci, err := s.ConfidenceInterval(confidence)
+	if err != nil || ci.Mean == 0 {
+		return math.Inf(1)
+	}
+	return ci.HalfWidth / math.Abs(ci.Mean)
+}
+
+// ---------------------------------------------------------------------------
+// Student-t distribution
+// ---------------------------------------------------------------------------
+
+// StudentTCDF returns P(T <= t) for a Student-t random variable with df
+// degrees of freedom.
+func StudentTCDF(t, df float64) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	x := df / (df + t*t)
+	ib := RegularizedIncompleteBeta(df/2, 0.5, x)
+	if t > 0 {
+		return 1 - 0.5*ib
+	}
+	return 0.5 * ib
+}
+
+// StudentTQuantile returns the p-quantile of the Student-t distribution with
+// df degrees of freedom, computed by bisection on the CDF.
+func StudentTQuantile(p, df float64) float64 {
+	if df <= 0 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	if p == 0.5 {
+		return 0
+	}
+	lo, hi := -1e3, 1e3
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if StudentTCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// RegularizedIncompleteBeta computes I_x(a, b) using the continued-fraction
+// expansion (Numerical Recipes style, re-derived from the standard Lentz
+// algorithm).
+func RegularizedIncompleteBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lnBeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lnBeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaContinuedFraction(a, b, x) / a
+	}
+	return 1 - front*betaContinuedFraction(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+func betaContinuedFraction(a, b, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 3e-14
+		fpMin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpMin {
+		d = fpMin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpMin {
+			d = fpMin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpMin {
+			c = fpMin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpMin {
+			d = fpMin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpMin {
+			c = fpMin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// ---------------------------------------------------------------------------
+// Batch means
+// ---------------------------------------------------------------------------
+
+// BatchMeans estimates the mean of a correlated time series (e.g. a
+// steady-state reward sampled along one long run) by grouping observations
+// into batches and treating batch averages as independent.
+type BatchMeans struct {
+	batchSize int
+	current   []float64
+	batches   *Summary
+}
+
+// NewBatchMeans returns a batch-means estimator with the given batch size.
+func NewBatchMeans(batchSize int) (*BatchMeans, error) {
+	if batchSize < 1 {
+		return nil, fmt.Errorf("stats: batch size %d < 1", batchSize)
+	}
+	return &BatchMeans{batchSize: batchSize, batches: NewSummary()}, nil
+}
+
+// Add records one observation, closing a batch when it is full.
+func (b *BatchMeans) Add(x float64) {
+	b.current = append(b.current, x)
+	if len(b.current) == b.batchSize {
+		var sum float64
+		for _, v := range b.current {
+			sum += v
+		}
+		b.batches.Add(sum / float64(b.batchSize))
+		b.current = b.current[:0]
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int { return b.batches.N() }
+
+// Mean returns the mean across completed batches.
+func (b *BatchMeans) Mean() float64 { return b.batches.Mean() }
+
+// ConfidenceInterval returns the CI over completed batch means.
+func (b *BatchMeans) ConfidenceInterval(confidence float64) (Interval, error) {
+	return b.batches.ConfidenceInterval(confidence)
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+// Histogram is a fixed-bin histogram over [lo, hi); values outside the range
+// are counted in the underflow/overflow buckets.
+type Histogram struct {
+	lo, hi    float64
+	bins      []int
+	underflow int
+	overflow  int
+	total     int
+}
+
+// NewHistogram returns a histogram with n equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n < 1 || !(hi > lo) {
+		return nil, fmt.Errorf("stats: invalid histogram [%v,%v) with %d bins", lo, hi, n)
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int, n)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.underflow++
+	case x >= h.hi:
+		h.overflow++
+	default:
+		idx := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.bins)))
+		if idx >= len(h.bins) {
+			idx = len(h.bins) - 1
+		}
+		h.bins[idx]++
+	}
+}
+
+// Counts returns a copy of the bin counts.
+func (h *Histogram) Counts() []int {
+	out := make([]int, len(h.bins))
+	copy(out, h.bins)
+	return out
+}
+
+// Total returns the number of observations recorded, including out-of-range.
+func (h *Histogram) Total() int { return h.total }
+
+// OutOfRange returns the (underflow, overflow) counts.
+func (h *Histogram) OutOfRange() (int, int) { return h.underflow, h.overflow }
+
+// BinCenter returns the center of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.hi - h.lo) / float64(len(h.bins))
+	return h.lo + (float64(i)+0.5)*width
+}
+
+// ---------------------------------------------------------------------------
+// Regression and correlation
+// ---------------------------------------------------------------------------
+
+// LinearFit is the result of an ordinary least squares fit y = Slope*x +
+// Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearRegression fits a straight line by ordinary least squares. It returns
+// ErrInsufficientData when fewer than two points are supplied or when all x
+// values are identical.
+func LinearRegression(x, y []float64) (LinearFit, error) {
+	if len(x) != len(y) {
+		return LinearFit{}, fmt.Errorf("stats: x and y lengths differ (%d vs %d)", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return LinearFit{}, fmt.Errorf("%w: need >=2 points, have %d", ErrInsufficientData, len(x))
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("%w: x values are all identical", ErrInsufficientData)
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Slope: slope, Intercept: my - slope*mx}
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		fit.R2 = 1
+	}
+	return fit, nil
+}
+
+// Pearson returns the Pearson correlation coefficient of x and y.
+func Pearson(x, y []float64) (float64, error) {
+	fit, err := LinearRegression(x, y)
+	if err != nil {
+		return 0, err
+	}
+	sign := 1.0
+	if fit.Slope < 0 {
+		sign = -1
+	}
+	return sign * math.Sqrt(fit.R2), nil
+}
+
+// ---------------------------------------------------------------------------
+// Quantiles of raw samples
+// ---------------------------------------------------------------------------
+
+// Quantile returns the p-quantile of the sample using linear interpolation
+// between order statistics. The input slice is not modified.
+func Quantile(sample []float64, p float64) (float64, error) {
+	if len(sample) == 0 {
+		return 0, fmt.Errorf("%w: empty sample", ErrInsufficientData)
+	}
+	sorted := make([]float64, len(sample))
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0], nil
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1], nil
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}

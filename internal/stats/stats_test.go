@@ -1,0 +1,327 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	s := NewSummary()
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 {
+		t.Fatal("empty summary not zeroed")
+	}
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N() != 8 {
+		t.Errorf("N = %d, want 8", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Unbiased variance of the classic sample is 32/7.
+	if got := s.Variance(); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	if got := s.Sum(); got != 40 {
+		t.Errorf("Sum = %v, want 40", got)
+	}
+}
+
+func TestConfidenceIntervalKnownValue(t *testing.T) {
+	// Sample of 10 values with mean 10, stddev 2: CI halfwidth =
+	// t_{0.975,9} * 2/sqrt(10) = 2.262157 * 0.632456 = 1.43064.
+	s := NewSummary()
+	base := []float64{8, 9, 9.5, 10, 10, 10, 10.5, 11, 11, 11}
+	// Rescale to stddev exactly 2 around mean 10.
+	tmp := NewSummary()
+	tmp.AddAll(base)
+	scale := 2 / tmp.StdDev()
+	for _, v := range base {
+		s.Add(10 + (v-tmp.Mean())*scale)
+	}
+	ci, err := s.ConfidenceInterval(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ci.Mean-10) > 1e-9 {
+		t.Errorf("CI mean = %v, want 10", ci.Mean)
+	}
+	want := 2.262157 * 2 / math.Sqrt(10)
+	if math.Abs(ci.HalfWidth-want) > 1e-3 {
+		t.Errorf("CI halfwidth = %v, want %v", ci.HalfWidth, want)
+	}
+	if !ci.Contains(10) || ci.Contains(100) {
+		t.Error("Contains misbehaves")
+	}
+	if ci.Lower() >= ci.Upper() {
+		t.Error("Lower >= Upper")
+	}
+	if ci.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestConfidenceIntervalErrors(t *testing.T) {
+	s := NewSummary()
+	s.Add(1)
+	if _, err := s.ConfidenceInterval(0.95); err == nil {
+		t.Error("CI with 1 observation succeeded")
+	}
+	s.Add(2)
+	if _, err := s.ConfidenceInterval(1.5); err == nil {
+		t.Error("CI with confidence 1.5 succeeded")
+	}
+}
+
+func TestRelativeHalfWidth(t *testing.T) {
+	s := NewSummary()
+	for i := 0; i < 100; i++ {
+		s.Add(100 + float64(i%10))
+	}
+	r := s.RelativeHalfWidth(0.95)
+	if r <= 0 || r > 0.05 {
+		t.Errorf("relative half width = %v, want small positive", r)
+	}
+	empty := NewSummary()
+	if !math.IsInf(empty.RelativeHalfWidth(0.95), 1) {
+		t.Error("empty RelativeHalfWidth not +Inf")
+	}
+}
+
+func TestStudentTQuantileTable(t *testing.T) {
+	cases := []struct {
+		p, df, want float64
+	}{
+		{0.975, 1, 12.706},
+		{0.975, 5, 2.571},
+		{0.975, 9, 2.262},
+		{0.975, 30, 2.042},
+		{0.95, 10, 1.812},
+		{0.995, 20, 2.845},
+		{0.5, 7, 0},
+	}
+	for _, tc := range cases {
+		got := StudentTQuantile(tc.p, tc.df)
+		if math.Abs(got-tc.want) > 0.01 {
+			t.Errorf("StudentTQuantile(%v, %v) = %v, want %v", tc.p, tc.df, got, tc.want)
+		}
+	}
+	if !math.IsInf(StudentTQuantile(1, 5), 1) || !math.IsInf(StudentTQuantile(0, 5), -1) {
+		t.Error("extreme quantiles not infinite")
+	}
+	if !math.IsNaN(StudentTQuantile(0.5, 0)) {
+		t.Error("df=0 should be NaN")
+	}
+}
+
+func TestStudentTCDFSymmetry(t *testing.T) {
+	for _, df := range []float64{1, 3, 10, 50} {
+		for _, x := range []float64{0.1, 0.7, 1.5, 3} {
+			a := StudentTCDF(x, df)
+			b := StudentTCDF(-x, df)
+			if math.Abs(a+b-1) > 1e-9 {
+				t.Errorf("CDF symmetry violated at x=%v df=%v: %v + %v != 1", x, df, a, b)
+			}
+		}
+		if math.Abs(StudentTCDF(0, df)-0.5) > 1e-12 {
+			t.Errorf("CDF(0) != 0.5 for df=%v", df)
+		}
+	}
+}
+
+func TestStudentTApproachesNormal(t *testing.T) {
+	// For large df the 97.5% quantile approaches 1.96.
+	got := StudentTQuantile(0.975, 1e6)
+	if math.Abs(got-1.95996) > 1e-3 {
+		t.Errorf("t quantile with huge df = %v, want ~1.96", got)
+	}
+}
+
+func TestRegularizedIncompleteBeta(t *testing.T) {
+	// I_x(1,1) = x.
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := RegularizedIncompleteBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// I_x(2,2) = 3x^2 - 2x^3.
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		want := 3*x*x - 2*x*x*x
+		if got := RegularizedIncompleteBeta(2, 2, x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("I_%v(2,2) = %v, want %v", x, got, want)
+		}
+	}
+	if RegularizedIncompleteBeta(2, 3, 0) != 0 || RegularizedIncompleteBeta(2, 3, 1) != 1 {
+		t.Error("boundary values incorrect")
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	bm, err := NewBatchMeans(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		bm.Add(float64(i % 10))
+	}
+	if bm.Batches() != 10 {
+		t.Errorf("Batches = %d, want 10", bm.Batches())
+	}
+	if got := bm.Mean(); math.Abs(got-4.5) > 1e-12 {
+		t.Errorf("Mean = %v, want 4.5", got)
+	}
+	ci, err := bm.ConfidenceInterval(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.HalfWidth != 0 {
+		t.Errorf("identical batches should give zero halfwidth, got %v", ci.HalfWidth)
+	}
+	if _, err := NewBatchMeans(0); err == nil {
+		t.Error("NewBatchMeans(0) succeeded")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 42} {
+		h.Add(v)
+	}
+	counts := h.Counts()
+	want := []int{2, 1, 1, 0, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bin %d = %d, want %d", i, counts[i], want[i])
+		}
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Errorf("out of range = (%d,%d), want (1,2)", under, over)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("NewHistogram(5,5,3) succeeded")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("NewHistogram with 0 bins succeeded")
+	}
+}
+
+func TestLinearRegressionExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{3, 5, 7, 9, 11} // y = 2x + 1
+	fit, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, err := LinearRegression([]float64{1}, []float64{1}); err == nil {
+		t.Error("regression with 1 point succeeded")
+	}
+	if _, err := LinearRegression([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("regression with mismatched lengths succeeded")
+	}
+	if _, err := LinearRegression([]float64{3, 3, 3}, []float64{1, 2, 3}); err == nil {
+		t.Error("regression with constant x succeeded")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	yPos := []float64{2, 4, 6, 8, 10}
+	yNeg := []float64{10, 8, 6, 4, 2}
+	if r, err := Pearson(x, yPos); err != nil || math.Abs(r-1) > 1e-9 {
+		t.Errorf("Pearson positive = %v (%v), want 1", r, err)
+	}
+	if r, err := Pearson(x, yNeg); err != nil || math.Abs(r+1) > 1e-9 {
+		t.Errorf("Pearson negative = %v (%v), want -1", r, err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sample := []float64{5, 1, 3, 2, 4}
+	if q, err := Quantile(sample, 0.5); err != nil || q != 3 {
+		t.Errorf("median = %v (%v), want 3", q, err)
+	}
+	if q, _ := Quantile(sample, 0); q != 1 {
+		t.Errorf("q0 = %v, want 1", q)
+	}
+	if q, _ := Quantile(sample, 1); q != 5 {
+		t.Errorf("q1 = %v, want 5", q)
+	}
+	if q, _ := Quantile(sample, 0.25); q != 2 {
+		t.Errorf("q0.25 = %v, want 2", q)
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("Quantile(nil) succeeded")
+	}
+	// Ensure input not modified.
+	if sample[0] != 5 {
+		t.Error("Quantile modified its input")
+	}
+}
+
+// Property: summary mean always lies within [min, max] and variance >= 0.
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(xs []float64) bool {
+		s := NewSummary()
+		clean := xs[:0]
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			clean = append(clean, x)
+			s.Add(x)
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		if s.Variance() < 0 {
+			return false
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Student-t CDF is monotone non-decreasing in its argument.
+func TestQuickStudentTMonotone(t *testing.T) {
+	f := func(a, b float64, dfSeed uint8) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		df := float64(dfSeed%60) + 1
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if math.Abs(lo) > 50 || math.Abs(hi) > 50 {
+			return true
+		}
+		return StudentTCDF(lo, df) <= StudentTCDF(hi, df)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

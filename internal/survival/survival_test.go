@@ -1,0 +1,279 @@
+package survival
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+func TestKaplanMeierSimple(t *testing.T) {
+	// Classic small example: failures at 1, 2, 4; censored at 3.
+	obs := []Observation{
+		{Time: 1, Event: true},
+		{Time: 2, Event: true},
+		{Time: 3, Event: false},
+		{Time: 4, Event: true},
+	}
+	curve, err := KaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 {
+		t.Fatalf("curve has %d steps, want 3", len(curve))
+	}
+	want := []float64{0.75, 0.5, 0.0}
+	for i, p := range curve {
+		if math.Abs(p.Survival-want[i]) > 1e-12 {
+			t.Errorf("step %d survival = %v, want %v", i, p.Survival, want[i])
+		}
+	}
+	if curve[0].AtRisk != 4 || curve[1].AtRisk != 3 || curve[2].AtRisk != 1 {
+		t.Errorf("at-risk counts wrong: %+v", curve)
+	}
+}
+
+func TestKaplanMeierTiedEvents(t *testing.T) {
+	obs := []Observation{
+		{Time: 5, Event: true},
+		{Time: 5, Event: true},
+		{Time: 10, Event: false},
+		{Time: 12, Event: true},
+	}
+	curve, err := KaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 2 {
+		t.Fatalf("curve has %d steps, want 2", len(curve))
+	}
+	if math.Abs(curve[0].Survival-0.5) > 1e-12 {
+		t.Errorf("S(5) = %v, want 0.5", curve[0].Survival)
+	}
+	if curve[0].Events != 2 {
+		t.Errorf("events at t=5 = %d, want 2", curve[0].Events)
+	}
+}
+
+func TestKaplanMeierErrors(t *testing.T) {
+	if _, err := KaplanMeier(nil); err != ErrNoData {
+		t.Errorf("KaplanMeier(nil) = %v, want ErrNoData", err)
+	}
+	if _, err := KaplanMeier([]Observation{{Time: -1, Event: true}}); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+func TestMedianSurvivalTime(t *testing.T) {
+	curve := []KMPoint{
+		{Time: 10, Survival: 0.8},
+		{Time: 20, Survival: 0.45},
+		{Time: 30, Survival: 0.2},
+	}
+	m, err := MedianSurvivalTime(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 20 {
+		t.Errorf("median = %v, want 20", m)
+	}
+	if _, err := MedianSurvivalTime([]KMPoint{{Time: 1, Survival: 0.9}}); err == nil {
+		t.Error("median found although curve never reaches 0.5")
+	}
+}
+
+// generateWeibullSample draws a censored sample from a known Weibull
+// distribution: every lifetime beyond the study window is censored at the
+// window end, mirroring how the ABE disk logs truncate at the log end date.
+func generateWeibullSample(t *testing.T, shape, scale, window float64, n int, seed uint64) []Observation {
+	t.Helper()
+	w, err := dist.NewWeibull(shape, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.NewStream(seed, "survival-gen")
+	obs := make([]Observation, 0, n)
+	for i := 0; i < n; i++ {
+		life := w.Sample(s)
+		if life > window {
+			obs = append(obs, Observation{Time: window, Event: false})
+		} else {
+			obs = append(obs, Observation{Time: life, Event: true})
+		}
+	}
+	return obs
+}
+
+func TestFitWeibullRecoversParametersUncensored(t *testing.T) {
+	obs := generateWeibullSample(t, 1.5, 1000, math.Inf(1), 4000, 42)
+	fit, err := FitWeibull(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Shape-1.5) > 0.08 {
+		t.Errorf("fitted shape = %v, want ~1.5", fit.Shape)
+	}
+	if math.Abs(fit.Scale-1000)/1000 > 0.05 {
+		t.Errorf("fitted scale = %v, want ~1000", fit.Scale)
+	}
+	if fit.Events != 4000 || fit.N != 4000 {
+		t.Errorf("events/N = %d/%d, want 4000/4000", fit.Events, fit.N)
+	}
+}
+
+func TestFitWeibullRecoversParametersCensored(t *testing.T) {
+	// Heavy censoring, like the disk logs: most disks survive the window.
+	obs := generateWeibullSample(t, 0.7, 300000, 2000, 5000, 7)
+	fit, err := FitWeibull(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Events == 0 || fit.Events == fit.N {
+		t.Fatalf("expected partial censoring, got %d/%d events", fit.Events, fit.N)
+	}
+	if math.Abs(fit.Shape-0.7) > 0.25 {
+		t.Errorf("fitted shape = %v, want ~0.7 (±0.25 with heavy censoring)", fit.Shape)
+	}
+	if fit.ShapeStdErr <= 0 || math.IsNaN(fit.ShapeStdErr) {
+		t.Errorf("shape stderr = %v, want positive", fit.ShapeStdErr)
+	}
+	ci, err := fit.ShapeConfidenceInterval(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.Contains(0.7) {
+		t.Errorf("95%% CI %v does not contain true shape 0.7", ci)
+	}
+}
+
+func TestFitWeibullExponentialData(t *testing.T) {
+	// Exponential data should fit with shape ~1.
+	obs := generateWeibullSample(t, 1.0, 500, math.Inf(1), 3000, 11)
+	fit, err := FitWeibull(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Shape-1.0) > 0.06 {
+		t.Errorf("fitted shape = %v, want ~1.0", fit.Shape)
+	}
+	if math.Abs(fit.MTBF()-500)/500 > 0.06 {
+		t.Errorf("fitted MTBF = %v, want ~500", fit.MTBF())
+	}
+}
+
+func TestFitWeibullErrors(t *testing.T) {
+	if _, err := FitWeibull(nil); err != ErrNoData {
+		t.Errorf("FitWeibull(nil) = %v, want ErrNoData", err)
+	}
+	if _, err := FitWeibull([]Observation{{Time: 10, Event: false}}); err != ErrNoEvents {
+		t.Errorf("all-censored fit error = %v, want ErrNoEvents", err)
+	}
+	if _, err := FitWeibull([]Observation{{Time: 0, Event: true}}); err == nil {
+		t.Error("zero time accepted")
+	}
+}
+
+func TestWeibullFitDerivedQuantities(t *testing.T) {
+	fit := WeibullFit{Shape: 1, Scale: 8760, N: 10, Events: 5, ShapeStdErr: 0.1}
+	if math.Abs(fit.MTBF()-8760) > 1e-9 {
+		t.Errorf("MTBF = %v, want 8760", fit.MTBF())
+	}
+	if math.Abs(fit.AFR()-1.0) > 1e-9 {
+		t.Errorf("AFR = %v, want 1.0", fit.AFR())
+	}
+	if fit.String() == "" {
+		t.Error("String empty")
+	}
+	if _, err := fit.ShapeConfidenceInterval(2); err == nil {
+		t.Error("confidence 2 accepted")
+	}
+	bad := WeibullFit{Shape: 1, Scale: 1, ShapeStdErr: math.NaN(), N: 5}
+	if _, err := bad.ShapeConfidenceInterval(0.95); err == nil {
+		t.Error("NaN stderr accepted")
+	}
+}
+
+func TestExponentialMTBF(t *testing.T) {
+	obs := []Observation{
+		{Time: 100, Event: true},
+		{Time: 200, Event: true},
+		{Time: 300, Event: false},
+	}
+	mtbf, err := ExponentialMTBF(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mtbf != 300 {
+		t.Errorf("MTBF = %v, want 300", mtbf)
+	}
+	if _, err := ExponentialMTBF(nil); err != ErrNoData {
+		t.Error("nil accepted")
+	}
+	if _, err := ExponentialMTBF([]Observation{{Time: 5, Event: false}}); err != ErrNoEvents {
+		t.Error("no-event sample accepted")
+	}
+	if _, err := ExponentialMTBF([]Observation{{Time: -5, Event: true}}); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+// Property: the Kaplan-Meier survival curve is non-increasing and stays in
+// [0, 1] for arbitrary positive observation sets.
+func TestQuickKaplanMeierMonotone(t *testing.T) {
+	f := func(times []float64, eventBits uint64) bool {
+		obs := make([]Observation, 0, len(times))
+		for i, tm := range times {
+			v := math.Abs(tm)
+			if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) || v > 1e12 {
+				continue
+			}
+			obs = append(obs, Observation{Time: v, Event: eventBits>>(uint(i)%64)&1 == 1})
+		}
+		if len(obs) == 0 {
+			return true
+		}
+		curve, err := KaplanMeier(obs)
+		if err != nil {
+			return false
+		}
+		prev := 1.0
+		for _, p := range curve {
+			if p.Survival > prev+1e-12 || p.Survival < -1e-12 || p.Survival > 1+1e-12 {
+				return false
+			}
+			prev = p.Survival
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FitWeibull recovers the generating shape within a loose tolerance
+// for random parameters on uncensored moderate samples.
+func TestQuickFitWeibullRecovery(t *testing.T) {
+	f := func(shapeSeed, scaleSeed uint16, seed uint64) bool {
+		shape := 0.5 + float64(shapeSeed%20)/10.0 // 0.5 .. 2.4
+		scale := 100 + float64(scaleSeed%10000)   // 100 .. 10100
+		w, err := dist.NewWeibull(shape, scale)
+		if err != nil {
+			return false
+		}
+		s := rng.NewStream(seed, "quick-fit")
+		obs := make([]Observation, 800)
+		for i := range obs {
+			obs[i] = Observation{Time: w.Sample(s), Event: true}
+		}
+		fit, err := FitWeibull(obs)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.Shape-shape)/shape < 0.25
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
