@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test vet bench cover examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+# Smoke-run every example binary end-to-end.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/disk_sensitivity
+	$(GO) run ./examples/raid_tradeoff
+	$(GO) run ./examples/petascale_scaling
+	$(GO) run ./examples/log_analysis
+
+clean:
+	$(GO) clean ./...
+	rm -f coverage.out

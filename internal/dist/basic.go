@@ -1,0 +1,192 @@
+package dist
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Exponential is the memoryless delay family used for hardware/software MTBF
+// and event inter-arrival times throughout the models.
+type Exponential struct {
+	mean float64
+}
+
+// NewExponentialFromMean returns an exponential distribution with the given
+// mean (1/rate).
+func NewExponentialFromMean(mean float64) (Exponential, error) {
+	if err := checkPositive("mean", mean); err != nil {
+		return Exponential{}, err
+	}
+	return Exponential{mean: mean}, nil
+}
+
+// NewExponentialFromRate returns an exponential distribution with the given
+// rate (events per unit time).
+func NewExponentialFromRate(rate float64) (Exponential, error) {
+	if err := checkPositive("rate", rate); err != nil {
+		return Exponential{}, err
+	}
+	return Exponential{mean: 1 / rate}, nil
+}
+
+// Sample draws via the inverse-CDF transform; OpenFloat64 keeps the log
+// argument strictly inside (0, 1).
+func (e Exponential) Sample(s *rng.Stream) float64 {
+	return -e.mean * math.Log(s.OpenFloat64())
+}
+
+// Mean returns the expected value.
+func (e Exponential) Mean() float64 { return e.mean }
+
+// Rate returns the event rate 1/mean.
+func (e Exponential) Rate() float64 { return 1 / e.mean }
+
+// Variance returns mean^2.
+func (e Exponential) Variance() float64 { return e.mean * e.mean }
+
+// CDF returns 1 - exp(-x/mean) for x >= 0.
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-x / e.mean)
+}
+
+// Quantile returns -mean*ln(1-p).
+func (e Exponential) Quantile(p float64) float64 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	return -e.mean * math.Log1p(-p)
+}
+
+// Name implements Distribution.
+func (Exponential) Name() string { return "exponential" }
+
+// Params implements Distribution.
+func (e Exponential) Params() map[string]float64 {
+	return map[string]float64{"mean": e.mean}
+}
+
+// Uniform is the bounded delay family used for manual repair windows (e.g.
+// 12-36 h hardware replacement in Table 5).
+type Uniform struct {
+	lo, hi float64
+}
+
+// NewUniform returns a uniform distribution on [lo, hi). It requires
+// lo < hi; both bounds must be finite.
+func NewUniform(lo, hi float64) (Uniform, error) {
+	if err := checkFinite("lo", lo); err != nil {
+		return Uniform{}, err
+	}
+	if err := checkFinite("hi", hi); err != nil {
+		return Uniform{}, err
+	}
+	if !(lo < hi) {
+		return Uniform{}, errInvalidf("uniform bounds must satisfy lo < hi, got [%v, %v]", lo, hi)
+	}
+	return Uniform{lo: lo, hi: hi}, nil
+}
+
+// Lo returns the lower bound.
+func (u Uniform) Lo() float64 { return u.lo }
+
+// Hi returns the upper bound.
+func (u Uniform) Hi() float64 { return u.hi }
+
+// Sample draws uniformly from [lo, hi).
+func (u Uniform) Sample(s *rng.Stream) float64 {
+	return u.lo + (u.hi-u.lo)*s.Float64()
+}
+
+// Mean returns (lo+hi)/2.
+func (u Uniform) Mean() float64 { return u.lo + (u.hi-u.lo)/2 }
+
+// Variance returns (hi-lo)^2/12.
+func (u Uniform) Variance() float64 {
+	w := u.hi - u.lo
+	return w * w / 12
+}
+
+// CDF returns the fraction of mass at or below x.
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.lo:
+		return 0
+	case x >= u.hi:
+		return 1
+	default:
+		return (x - u.lo) / (u.hi - u.lo)
+	}
+}
+
+// Quantile returns lo + p*(hi-lo).
+func (u Uniform) Quantile(p float64) float64 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	return u.lo + p*(u.hi-u.lo)
+}
+
+// Name implements Distribution.
+func (Uniform) Name() string { return "uniform" }
+
+// Params implements Distribution.
+func (u Uniform) Params() map[string]float64 {
+	return map[string]float64{"lo": u.lo, "hi": u.hi}
+}
+
+// Deterministic is a point mass, used for fixed delays such as spare
+// activation and scheduled disk replacement times.
+type Deterministic struct {
+	value float64
+}
+
+// NewDeterministic returns a point mass at value. Negative delays make no
+// sense for the simulator, so value must be finite and >= 0.
+func NewDeterministic(value float64) (Deterministic, error) {
+	if err := checkFinite("value", value); err != nil {
+		return Deterministic{}, err
+	}
+	if value < 0 {
+		return Deterministic{}, errInvalidf("deterministic value must be >= 0, got %v", value)
+	}
+	return Deterministic{value: value}, nil
+}
+
+// Sample returns the fixed value without consuming randomness, so swapping a
+// deterministic delay into a model does not perturb other components'
+// streams.
+func (d Deterministic) Sample(*rng.Stream) float64 { return d.value }
+
+// Mean returns the fixed value.
+func (d Deterministic) Mean() float64 { return d.value }
+
+// Variance returns 0.
+func (Deterministic) Variance() float64 { return 0 }
+
+// CDF is the unit step at the fixed value.
+func (d Deterministic) CDF(x float64) float64 {
+	if x < d.value {
+		return 0
+	}
+	return 1
+}
+
+// Quantile returns the fixed value for every p in [0, 1].
+func (d Deterministic) Quantile(p float64) float64 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	return d.value
+}
+
+// Name implements Distribution.
+func (Deterministic) Name() string { return "deterministic" }
+
+// Params implements Distribution.
+func (d Deterministic) Params() map[string]float64 {
+	return map[string]float64{"value": d.value}
+}

@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Empirical is the piecewise-linear distribution interpolating a measured
+// sample — the bridge from log analysis (observed repair times, outage
+// durations) back into the simulation models. Its quantile function linearly
+// interpolates the order statistics (the "type 7" estimator), and sampling
+// is the inverse-CDF transform of that interpolant, so an Empirical built
+// from field data reproduces the data's quantiles exactly.
+type Empirical struct {
+	sorted []float64
+	mean   float64
+}
+
+// NewEmpirical returns the empirical distribution over the given values,
+// which must be non-empty, finite, and non-negative (delays). The input
+// slice is copied.
+func NewEmpirical(values []float64) (Empirical, error) {
+	if len(values) == 0 {
+		return Empirical{}, errInvalidf("empirical needs at least one value")
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	for _, v := range sorted {
+		if err := checkFinite("empirical value", v); err != nil {
+			return Empirical{}, err
+		}
+		if v < 0 {
+			return Empirical{}, errInvalidf("empirical values must be >= 0, got %v", v)
+		}
+	}
+	sort.Float64s(sorted)
+	// The mean of the piecewise-linear interpolant is the trapezoidal
+	// average of the order statistics, which matches Sample's expectation.
+	mean := sorted[0]
+	if n := len(sorted); n > 1 {
+		sum := sorted[0] / 2
+		for _, v := range sorted[1 : n-1] {
+			sum += v
+		}
+		sum += sorted[n-1] / 2
+		mean = sum / float64(n-1)
+	}
+	return Empirical{sorted: sorted, mean: mean}, nil
+}
+
+// N returns the number of underlying observations.
+func (e Empirical) N() int { return len(e.sorted) }
+
+// Sample draws by inverse transform through the interpolated quantile
+// function.
+func (e Empirical) Sample(s *rng.Stream) float64 {
+	return e.Quantile(s.Float64())
+}
+
+// Mean returns the mean of the interpolated distribution.
+func (e Empirical) Mean() float64 { return e.mean }
+
+// Quantile linearly interpolates the order statistics at rank (n-1)*p.
+func (e Empirical) Quantile(p float64) float64 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	n := len(e.sorted)
+	if n == 1 {
+		return e.sorted[0]
+	}
+	h := float64(n-1) * p
+	i := int(h)
+	if i >= n-1 {
+		return e.sorted[n-1]
+	}
+	frac := h - float64(i)
+	return e.sorted[i] + frac*(e.sorted[i+1]-e.sorted[i])
+}
+
+// CDF inverts the interpolated quantile function: it returns the rank
+// fraction of x within the sample, interpolating between adjacent order
+// statistics.
+func (e Empirical) CDF(x float64) float64 {
+	n := len(e.sorted)
+	if x < e.sorted[0] {
+		return 0
+	}
+	if x >= e.sorted[n-1] {
+		return 1
+	}
+	// First index with sorted[i] > x; x lies in [sorted[i-1], sorted[i]).
+	i := sort.SearchFloat64s(e.sorted, x)
+	for i < n && e.sorted[i] <= x {
+		i++
+	}
+	lo, hi := e.sorted[i-1], e.sorted[i]
+	frac := 0.0
+	if hi > lo {
+		frac = (x - lo) / (hi - lo)
+	}
+	return (float64(i-1) + frac) / float64(n-1)
+}
+
+// Name implements Distribution.
+func (Empirical) Name() string { return "empirical" }
+
+// Params implements Distribution.
+func (e Empirical) Params() map[string]float64 {
+	return map[string]float64{"n": float64(len(e.sorted)), "mean": e.mean}
+}

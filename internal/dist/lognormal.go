@@ -1,0 +1,97 @@
+package dist
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Lognormal models heavy-tailed positive delays: repair durations and
+// cluster-wide outage lengths, where most events are short but a few run
+// very long.
+type Lognormal struct {
+	mu, sigma float64
+}
+
+// NewLognormal returns a lognormal distribution parameterized by the mean mu
+// and standard deviation sigma of the underlying normal (log-scale
+// parameters).
+func NewLognormal(mu, sigma float64) (Lognormal, error) {
+	if err := checkFinite("mu", mu); err != nil {
+		return Lognormal{}, err
+	}
+	if err := checkPositive("sigma", sigma); err != nil {
+		return Lognormal{}, err
+	}
+	return Lognormal{mu: mu, sigma: sigma}, nil
+}
+
+// NewLognormalFromMoments returns the lognormal whose (arithmetic) mean and
+// standard deviation match the given values — the natural parameterization
+// when fitting outage durations from logs ("mean 6 h, spread 8 h").
+func NewLognormalFromMoments(mean, stddev float64) (Lognormal, error) {
+	if err := checkPositive("mean", mean); err != nil {
+		return Lognormal{}, err
+	}
+	if err := checkPositive("stddev", stddev); err != nil {
+		return Lognormal{}, err
+	}
+	cv := stddev / mean
+	sigma2 := math.Log1p(cv * cv)
+	mu := math.Log(mean) - sigma2/2
+	return Lognormal{mu: mu, sigma: math.Sqrt(sigma2)}, nil
+}
+
+// Mu returns the log-scale location parameter.
+func (l Lognormal) Mu() float64 { return l.mu }
+
+// Sigma returns the log-scale spread parameter.
+func (l Lognormal) Sigma() float64 { return l.sigma }
+
+// Sample returns exp(mu + sigma*Z) with Z standard normal.
+func (l Lognormal) Sample(s *rng.Stream) float64 {
+	return math.Exp(l.mu + l.sigma*s.Normal())
+}
+
+// Mean returns exp(mu + sigma^2/2).
+func (l Lognormal) Mean() float64 {
+	return math.Exp(l.mu + l.sigma*l.sigma/2)
+}
+
+// Variance returns (exp(sigma^2)-1) * exp(2mu + sigma^2).
+func (l Lognormal) Variance() float64 {
+	s2 := l.sigma * l.sigma
+	return math.Expm1(s2) * math.Exp(2*l.mu+s2)
+}
+
+// CDF returns Phi((ln x - mu)/sigma) for x > 0.
+func (l Lognormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - l.mu) / l.sigma
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// Quantile returns exp(mu + sigma*Phi^-1(p)).
+func (l Lognormal) Quantile(p float64) float64 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	switch p {
+	case 0:
+		return 0
+	case 1:
+		return math.Inf(1)
+	}
+	z := math.Sqrt2 * math.Erfinv(2*p-1)
+	return math.Exp(l.mu + l.sigma*z)
+}
+
+// Name implements Distribution.
+func (Lognormal) Name() string { return "lognormal" }
+
+// Params implements Distribution.
+func (l Lognormal) Params() map[string]float64 {
+	return map[string]float64{"mu": l.mu, "sigma": l.sigma}
+}

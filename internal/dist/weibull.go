@@ -1,0 +1,92 @@
+package dist
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Weibull models disk lifetimes: shape < 1 expresses infant mortality (the
+// regime the ABE field logs exhibit for a newly deployed population),
+// shape = 1 degenerates to the exponential, and shape > 1 expresses
+// wear-out.
+type Weibull struct {
+	shape, scale float64
+}
+
+// NewWeibull returns a Weibull distribution with the given shape (beta) and
+// scale (eta) parameters.
+func NewWeibull(shape, scale float64) (Weibull, error) {
+	if err := checkPositive("shape", shape); err != nil {
+		return Weibull{}, err
+	}
+	if err := checkPositive("scale", scale); err != nil {
+		return Weibull{}, err
+	}
+	return Weibull{shape: shape, scale: scale}, nil
+}
+
+// NewWeibullFromMTBF returns the Weibull with the given shape whose mean
+// equals mtbf, solving mtbf = scale * Gamma(1 + 1/shape) for the scale. This
+// is how the paper's disk sensitivity series hold the field AFR fixed while
+// varying the shape.
+func NewWeibullFromMTBF(shape, mtbf float64) (Weibull, error) {
+	if err := checkPositive("shape", shape); err != nil {
+		return Weibull{}, err
+	}
+	if err := checkPositive("MTBF", mtbf); err != nil {
+		return Weibull{}, err
+	}
+	scale := mtbf / math.Gamma(1+1/shape)
+	if err := checkPositive("derived scale", scale); err != nil {
+		return Weibull{}, err
+	}
+	return Weibull{shape: shape, scale: scale}, nil
+}
+
+// Shape returns the shape (beta) parameter.
+func (w Weibull) Shape() float64 { return w.shape }
+
+// Scale returns the scale (eta) parameter.
+func (w Weibull) Scale() float64 { return w.scale }
+
+// Sample draws via the inverse-CDF transform scale*(-ln U)^(1/shape).
+func (w Weibull) Sample(s *rng.Stream) float64 {
+	return w.scale * math.Pow(-math.Log(s.OpenFloat64()), 1/w.shape)
+}
+
+// Mean returns scale * Gamma(1 + 1/shape).
+func (w Weibull) Mean() float64 {
+	return w.scale * math.Gamma(1+1/w.shape)
+}
+
+// Variance returns scale^2 * (Gamma(1+2/shape) - Gamma(1+1/shape)^2).
+func (w Weibull) Variance() float64 {
+	g1 := math.Gamma(1 + 1/w.shape)
+	g2 := math.Gamma(1 + 2/w.shape)
+	return w.scale * w.scale * (g2 - g1*g1)
+}
+
+// CDF returns 1 - exp(-(x/scale)^shape) for x >= 0.
+func (w Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-math.Pow(x/w.scale, w.shape))
+}
+
+// Quantile returns scale*(-ln(1-p))^(1/shape).
+func (w Weibull) Quantile(p float64) float64 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	return w.scale * math.Pow(-math.Log1p(-p), 1/w.shape)
+}
+
+// Name implements Distribution.
+func (Weibull) Name() string { return "weibull" }
+
+// Params implements Distribution.
+func (w Weibull) Params() map[string]float64 {
+	return map[string]float64{"shape": w.shape, "scale": w.scale}
+}
