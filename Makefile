@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench cover examples clean
+.PHONY: all build test race vet bench cover examples clean
 
 all: build vet test
 
@@ -9,6 +9,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Race-check the packages with concurrent replication runners and the
+# snapshot/clone machinery of the rare-event engine.
+race:
+	$(GO) test -race ./internal/san/... ./internal/rareevent/...
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +32,7 @@ examples:
 	$(GO) run ./examples/raid_tradeoff
 	$(GO) run ./examples/petascale_scaling
 	$(GO) run ./examples/log_analysis
+	$(GO) run ./examples/rare_event
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,140 @@
+// The rare_event example walks through estimating a rare data-loss
+// probability with the RESTART-style multilevel importance-splitting engine.
+//
+// The paper's headline measures are availabilities of highly redundant
+// storage, where the interesting event — enough simultaneous disk failures
+// in one RAID tier to lose data — is so rare that naive Monte Carlo needs
+// millions of replications to see one. Importance splitting decomposes the
+// probability into a product of per-level conditionals (1 disk down, 2 down,
+// ...), each estimated by restarting cloned trajectories from snapshots
+// taken at the previous level crossing.
+//
+// The example estimates P(data loss within a year) for a single (8+4) RAID
+// tier three ways — multilevel splitting, naive Monte Carlo at the same
+// simulated-event budget, and (because the example's disks are exponential
+// with exponential repairs) the exact birth-death answer by uniformization —
+// and prints the comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dist"
+	"repro/internal/rareevent"
+	"repro/internal/san"
+)
+
+const (
+	disks     = 12   // 8 data + 4 parity
+	parity    = 4    // data loss at parity+1 concurrent failures
+	mtbfHours = 6000 // per-disk exponential lifetime
+	mttrHours = 48   // per-disk exponential repair
+	mission   = 8760.0
+)
+
+// buildTier constructs the tier as an explicit birth-death SAN: a counter of
+// failed disks, a marking-dependent failure activity (rate (N-n)/MTBF), and
+// a marking-dependent repair activity (rate n/MTTR). Both delays are
+// re-evaluated whenever the counter changes (reactivation), which makes the
+// model an exact continuous-time Markov chain — so uniformization gives the
+// exact answer to validate both estimators against.
+func buildTier() (*san.Model, *san.Place, error) {
+	m := san.NewModel("tier")
+	failed := m.AddPlace("failed_disks", 0)
+
+	fail := m.AddTimedActivityFunc("fail", func(mr san.MarkingReader) dist.Distribution {
+		up := disks - mr.Tokens(failed)
+		d, err := dist.NewExponentialFromRate(float64(up) / mtbfHours)
+		if err != nil {
+			panic(err)
+		}
+		return d
+	})
+	fail.SetReactivation(true)
+	fail.AddInputGate(&san.InputGate{
+		Name:    "some_disk_up",
+		Reads:   []*san.Place{failed},
+		Enabled: func(mr san.MarkingReader) bool { return mr.Tokens(failed) < disks },
+	})
+	fail.AddOutputArc(failed, 1)
+
+	repair := m.AddTimedActivityFunc("repair", func(mr san.MarkingReader) dist.Distribution {
+		d, err := dist.NewExponentialFromRate(float64(mr.Tokens(failed)) / mttrHours)
+		if err != nil {
+			panic(err)
+		}
+		return d
+	})
+	repair.SetReactivation(true)
+	repair.AddInputArc(failed, 1)
+
+	if err := m.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return m, failed, nil
+}
+
+func main() {
+	log.SetFlags(0)
+
+	model, failed, err := buildTier()
+	if err != nil {
+		log.Fatal(err)
+	}
+	importance := func(mr san.MarkingReader) float64 { return float64(mr.Tokens(failed)) }
+	top := parity + 1
+
+	fmt.Printf("P(data loss within %.0f h) for one %d-disk tier tolerating %d failures\n", mission, disks, parity)
+	fmt.Printf("disk MTBF %d h, repair %d h (both exponential)\n\n", mtbfHours, mttrHours)
+
+	// Exact answer: the tier is a birth-death chain on the failed-disk count
+	// with birth rate (N-n)/MTBF and death rate n/MTTR, absorbed at top.
+	birth := make([]float64, top)
+	death := make([]float64, top)
+	for n := 0; n < top; n++ {
+		birth[n] = float64(disks-n) / mtbfHours
+		death[n] = float64(n) / mttrHours
+	}
+	exact, err := rareevent.BirthDeathHitProbability(birth, death, mission)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact (uniformization):            %.3e\n", exact)
+
+	// Multilevel splitting: one level per additional concurrent failure.
+	// All delays are exponential, so memoryless resampling on restore is
+	// exact and keeps clones of one snapshot independent.
+	split, err := rareevent.Run(model, importance, rareevent.Options{
+		Mission:           mission,
+		Levels:            rareevent.UniformSplittingLevels(top),
+		Effort:            rareevent.FixedEffort(top, 1000),
+		Seed:              7,
+		ResampleOnRestore: func(*san.Activity) bool { return true },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("multilevel splitting:              %.3e ± %.3e (%d trajectories, %d events)\n",
+		split.Probability, split.Interval.HalfWidth, split.Interval.N, split.TotalEvents)
+	for _, sr := range split.Stages {
+		fmt.Printf("  level %.0f: %4d/%4d crossed (conditional p=%.4f)\n",
+			sr.Level, sr.Hits, sr.Trials, sr.ConditionalProbability())
+	}
+
+	// Naive Monte Carlo at the same simulated-event budget.
+	naive, err := rareevent.RunNaive(model, importance, rareevent.NaiveOptions{
+		Mission:     mission,
+		Level:       float64(top),
+		EventBudget: split.TotalEvents,
+		Seed:        7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("naive MC (equal budget):           %.3e ± %.3e (%d replications, %d hits)\n",
+		naive.Probability, naive.Interval.HalfWidth, naive.Replications, naive.Hits)
+
+	ratio := naive.Interval.HalfWidth / split.Interval.HalfWidth
+	fmt.Printf("\nCI narrowing factor at equal cost: %.0fx\n", ratio)
+}

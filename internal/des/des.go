@@ -31,6 +31,11 @@ type Event struct {
 // Time returns the time at which the event is scheduled to fire.
 func (e *Event) Time() float64 { return e.time }
 
+// Sequence returns the engine-assigned insertion sequence, the tiebreaker
+// among events scheduled at the same time. Checkpointing code records it so
+// a restored run re-schedules tied events in their original relative order.
+func (e *Event) Sequence() uint64 { return e.seq }
+
 // Canceled reports whether the event has been canceled.
 func (e *Event) Canceled() bool { return e.canceled }
 
@@ -207,6 +212,21 @@ func (e *Engine) Run(horizon float64) uint64 {
 		e.now = horizon
 	}
 	return executed
+}
+
+// ResumeAt prepares the engine to continue a checkpointed run: the pending
+// queue is cleared, the clock is set to t, and the fired-event counter to
+// fired. It is the restore counterpart of the SAN simulator's snapshot
+// support; the caller re-schedules the pending events afterwards at their
+// recorded absolute times.
+func (e *Engine) ResumeAt(t float64, fired uint64) error {
+	if math.IsNaN(t) || t < 0 {
+		return fmt.Errorf("des: invalid resume time %v", t)
+	}
+	e.Reset()
+	e.now = t
+	e.events = fired
+	return nil
 }
 
 // Reset clears all pending events and returns the clock to 0 so the engine

@@ -260,3 +260,34 @@ func BenchmarkScheduleRun(b *testing.B) {
 		e.Run(1000)
 	}
 }
+
+func TestResumeAt(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Schedule(1, func(float64) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ResumeAt(5, 42); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 5 || e.Fired() != 42 || e.Pending() != 0 {
+		t.Errorf("after ResumeAt: now=%v fired=%d pending=%d", e.Now(), e.Fired(), e.Pending())
+	}
+	// Events re-scheduled at absolute times relative to the restored clock.
+	fired := 0.0
+	if _, err := e.Schedule(7, func(now float64) { fired = now }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Schedule(4, func(float64) {}); err == nil {
+		t.Error("scheduling before the restored clock accepted")
+	}
+	e.Run(10)
+	if fired != 7 || e.Fired() != 43 {
+		t.Errorf("fired=%v events=%d", fired, e.Fired())
+	}
+	if err := e.ResumeAt(-1, 0); err == nil {
+		t.Error("negative resume time accepted")
+	}
+	if err := e.ResumeAt(math.NaN(), 0); err == nil {
+		t.Error("NaN resume time accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -228,7 +229,7 @@ func TestRunDispatch(t *testing.T) {
 	if _, err := Run("bogus", opts); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if len(Names()) != 12 {
+	if len(Names()) != 13 {
 		t.Errorf("Names() = %v", Names())
 	}
 }
@@ -246,5 +247,53 @@ func TestExtensionCheckpoint(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("extension table missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestRareEventDataLoss(t *testing.T) {
+	// The experiment's own quick mode (not the cheaper quick() helper): the
+	// acceptance criterion is that splitting's confidence interval is at
+	// least 10x narrower than naive Monte Carlo's at equal event budget.
+	tab, err := RareEventDataLoss(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.Render()
+	for _, want := range []string{"Multilevel splitting", "Naive Monte Carlo (equal budget)", "CI narrowing factor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Parse the narrowing factor from its row ("<factor>x").
+	var factor float64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "CI narrowing factor") {
+			continue
+		}
+		fields := strings.Fields(line)
+		for _, f := range fields {
+			if strings.HasSuffix(f, "x") {
+				if _, err := fmt.Sscanf(f, "%fx", &factor); err == nil && factor > 0 {
+					break
+				}
+			}
+		}
+	}
+	if factor < 10 {
+		t.Errorf("CI narrowing factor %.1fx below the 10x acceptance threshold:\n%s", factor, out)
+	}
+}
+
+func TestRareEventConfigValid(t *testing.T) {
+	cfg := RareEventConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	levels := cfg.DataLossLevels()
+	if len(levels) != cfg.Geometry.Parity+1 {
+		t.Errorf("levels %v for parity %d", levels, cfg.Geometry.Parity)
+	}
+	if levels[len(levels)-1] != float64(cfg.Geometry.Parity+1) {
+		t.Errorf("top level %v, want %d", levels[len(levels)-1], cfg.Geometry.Parity+1)
 	}
 }

@@ -236,6 +236,10 @@ type StoragePlaces struct {
 	// ReplaceActivities lists the names of every disk-replacement activity,
 	// for completion-count rewards (disk replacement rate).
 	ReplaceActivities []string
+	// TierFailedDisks lists the per-tier concurrently-failed-disk places in
+	// build order. The rare-event experiments derive their importance
+	// function (maximum concurrent failures in any tier) from these.
+	TierFailedDisks []*san.Place
 	// Config echoes the configuration the submodel was built from.
 	Config StorageConfig
 }
@@ -354,6 +358,7 @@ func buildTier(m *san.Model, prefix string, g TierGeometry, life, replace dist.D
 	if err != nil {
 		return err
 	}
+	sp.TierFailedDisks = append(sp.TierFailedDisks, failedDisks)
 	parity := g.Parity
 	return san.Replicate(m, san.Qualify(prefix, "disk"), g.Disks(), func(m *san.Model, dPrefix string, _ int) error {
 		up, err := m.AddPlaceErr(san.Qualify(dPrefix, "up"), 1)
@@ -410,6 +415,35 @@ func (sp *StoragePlaces) AvailabilityReward(name string) san.RewardVariable {
 // over the mission (convert to per-week with 168/mission — Figure 3).
 func (sp *StoragePlaces) ReplacementCountReward(name string) san.RewardVariable {
 	return san.CompletionCount(name, sp.ReplaceActivities...)
+}
+
+// MaxFailedDisksImportance returns the importance function used by the
+// rare-event splitting experiments: the maximum number of concurrently
+// failed disks in any single tier. Data loss — some tier with more than
+// Parity disks down — corresponds to importance >= Parity+1, so the natural
+// splitting levels are 1, 2, ..., Parity+1.
+func (sp *StoragePlaces) MaxFailedDisksImportance() san.ImportanceFunc {
+	places := sp.TierFailedDisks
+	return func(m san.MarkingReader) float64 {
+		worst := 0
+		for _, p := range places {
+			if n := m.Tokens(p); n > worst {
+				worst = n
+			}
+		}
+		return float64(worst)
+	}
+}
+
+// DataLossLevels returns the splitting levels for the configuration's
+// geometry: one level per additional concurrent failure, up to the first
+// data-losing count Parity+1.
+func (c StorageConfig) DataLossLevels() []float64 {
+	levels := make([]float64, c.Geometry.Parity+1)
+	for i := range levels {
+		levels[i] = float64(i + 1)
+	}
+	return levels
 }
 
 // ---------------------------------------------------------------------------

@@ -1,7 +1,9 @@
 package san
 
 import (
+	"errors"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -452,14 +454,10 @@ func TestUnstableInstantaneousLoopDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.Run(10)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// The run terminates (does not hang); the unstable loop stops the engine
-	// after the bound is hit, so fewer than all timed firings may occur.
-	if res.FinalTime != 10 {
-		t.Errorf("FinalTime = %v", res.FinalTime)
+	// The run terminates (does not hang) and surfaces the instability: a
+	// truncated run must not masquerade as a successful replication.
+	if _, err := sim.Run(10); !errors.Is(err, ErrUnstableModel) {
+		t.Fatalf("Run error = %v, want ErrUnstableModel", err)
 	}
 }
 
@@ -692,4 +690,411 @@ func itoa(i int) string {
 		return string(rune('0' + i))
 	}
 	return itoa(i/10) + string(rune('0'+i%10))
+}
+
+// TestStudyDeterministicAcrossParallelism is the regression test for the
+// nondeterministic-aggregation bug: same-seed studies must be bit-identical
+// regardless of Parallelism, both in the per-reward Welford summaries and in
+// the event totals.
+func TestStudyDeterministicAcrossParallelism(t *testing.T) {
+	m, up := buildFailRepair(t, 50, 5)
+	rewards := []RewardVariable{
+		UpFraction("avail", func(mr MarkingReader) bool { return mr.Tokens(up) == 1 }),
+		CompletionCount("repairs", "repair"),
+	}
+	var base *StudyResult
+	for _, par := range []int{1, 4, 16} {
+		res, err := RunReplications(m, rewards, Options{
+			Mission: 500, Replications: 40, Seed: 99, Parallelism: par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Options.Parallelism = 0 // the only field allowed to differ
+		if base == nil {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(base.Summaries, res.Summaries) {
+			t.Errorf("parallelism %d changed summaries: %+v vs %+v", par, res.Summaries["avail"], base.Summaries["avail"])
+		}
+		if base.TotalEvents != res.TotalEvents {
+			t.Errorf("parallelism %d changed TotalEvents: %d vs %d", par, res.TotalEvents, base.TotalEvents)
+		}
+	}
+}
+
+// buildCaseCounter returns a model whose single repeating activity selects
+// between two cases with the given probability functions (nil = share the
+// leftover mass), dropping a token into the corresponding counter place.
+func buildCaseCounter(t testing.TB, pa, pb func(MarkingReader) float64) (*Model, *Place, *Place) {
+	t.Helper()
+	m := NewModel("cases")
+	clock := m.AddPlace("clock", 1)
+	a := m.AddPlace("a", 0)
+	b := m.AddPlace("b", 0)
+	act := m.AddTimedActivity("tick", mustDet(t, 1)).AddInputArc(clock, 1)
+	act.AddCase(Case{Probability: pa, OutputArcs: []Arc{{Place: a, Mult: 1}, {Place: clock, Mult: 1}}})
+	act.AddCase(Case{Probability: pb, OutputArcs: []Arc{{Place: b, Mult: 1}, {Place: clock, Mult: 1}}})
+	return m, a, b
+}
+
+func TestSelectCaseClampsNegativeProbability(t *testing.T) {
+	// A negative explicit probability must be treated as 0, so the nil case
+	// absorbs the full mass and the negative case is never selected.
+	m, a, b := buildCaseCounter(t, func(MarkingReader) float64 { return -0.5 }, nil)
+	sim, err := NewSimulator(m, []RewardVariable{
+		{Name: "a", Mode: InstantAtEnd, Rate: func(mr MarkingReader) float64 { return float64(mr.Tokens(a)) }},
+		{Name: "b", Mode: InstantAtEnd, Rate: func(mr MarkingReader) float64 { return float64(mr.Tokens(b)) }},
+	}, rng.NewStream(21, "neg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(200.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rewards["a"] != 0 {
+		t.Errorf("negative-probability case selected %v times", res.Rewards["a"])
+	}
+	if res.Rewards["b"] != 200 {
+		t.Errorf("nil case selected %v times, want 200", res.Rewards["b"])
+	}
+}
+
+func TestSelectCaseOverUnityMassUsesRelativeWeights(t *testing.T) {
+	// Explicit probabilities summing to 4 (3 + 1): the old code always chose
+	// the first case because the cumulative sum reached the uniform draw
+	// immediately, silently starving the tail. With over-unity mass the draw
+	// is scaled to the total, so selection degrades to 3:1 relative weights.
+	// Validate catches static over-unity sums, so the ill-formed values are
+	// marking-dependent: well-formed in the zero-marking probe state, 3+1
+	// once tokens have accumulated (every firing after the first).
+	var m *Model
+	var a, b *Place
+	total := func(mr MarkingReader) float64 { return float64(mr.Tokens(a) + mr.Tokens(b)) }
+	m, a, b = buildCaseCounter(t,
+		func(mr MarkingReader) float64 {
+			if total(mr) > 0 {
+				return 3
+			}
+			return 0.75
+		},
+		func(mr MarkingReader) float64 {
+			if total(mr) > 0 {
+				return 1
+			}
+			return 0.25
+		})
+	sim, err := NewSimulator(m, []RewardVariable{
+		{Name: "a", Mode: InstantAtEnd, Rate: func(mr MarkingReader) float64 { return float64(mr.Tokens(a)) }},
+		{Name: "b", Mode: InstantAtEnd, Rate: func(mr MarkingReader) float64 { return float64(mr.Tokens(b)) }},
+	}, rng.NewStream(22, "over"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(2000.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, nb := res.Rewards["a"], res.Rewards["b"]
+	if na+nb != 2000 {
+		t.Fatalf("selected %v+%v cases, want 2000", na, nb)
+	}
+	if nb == 0 {
+		t.Fatal("tail case starved despite 1/4 of the relative mass")
+	}
+	frac := nb / (na + nb)
+	if frac < 0.2 || frac > 0.3 {
+		t.Errorf("tail case fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestUnstableLoopInInitialMarkingReturnsError(t *testing.T) {
+	// A vanishing loop live from t=0 is caught during initialization.
+	m := NewModel("unstable0")
+	a := m.AddPlace("a", 1)
+	b := m.AddPlace("b", 0)
+	m.AddInstantaneousActivity("ab").AddInputArc(a, 1).AddOutputArc(b, 1)
+	m.AddInstantaneousActivity("ba").AddInputArc(b, 1).AddOutputArc(a, 1)
+	sim, err := NewSimulator(m, nil, rng.NewStream(9, "unstable0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(10); !errors.Is(err, ErrUnstableModel) {
+		t.Fatalf("Run error = %v, want ErrUnstableModel", err)
+	}
+}
+
+// monitoredFailRepair builds the fail/repair model with an availability
+// reward and a monitor-ready importance function (tokens in down).
+func monitoredFailRepair(t testing.TB) (*Model, []RewardVariable, ImportanceFunc) {
+	t.Helper()
+	m, up := buildFailRepair(t, 30, 3)
+	down := m.Place("down")
+	rewards := []RewardVariable{
+		UpFraction("avail", func(mr MarkingReader) bool { return mr.Tokens(up) == 1 }),
+		CompletionCount("repairs", "repair"),
+	}
+	imp := func(mr MarkingReader) float64 { return float64(mr.Tokens(down)) }
+	return m, rewards, imp
+}
+
+// TestSnapshotReplayBitIdentical verifies that a snapshot captures the
+// complete replication state: restoring it (with the original RNG state)
+// into a fresh simulator must replay the remainder of the trajectory
+// bit-for-bit, yielding the same rewards and event count as the
+// uninterrupted run.
+func TestSnapshotReplayBitIdentical(t *testing.T) {
+	m, rewards, imp := monitoredFailRepair(t)
+	const mission = 400
+
+	var snap *Snapshot
+	sim1, err := NewSimulator(m, rewards, rng.NewStream(33, "orig"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := sim1.RunMonitored(mission, &Monitor{
+		Importance: imp,
+		Threshold:  1,
+		OnCross:    func(_ float64, s *Snapshot) { snap = s },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("no crossing observed; pick a longer mission")
+	}
+	if snap.Time <= 0 || snap.Time >= mission {
+		t.Fatalf("crossing time %v outside (0, %v)", snap.Time, mission)
+	}
+
+	// A different seed: RunFrom must restore the stream from the snapshot.
+	sim2, err := NewSimulator(m, rewards, rng.NewStream(12345, "replay"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := sim2.RunFrom(snap, mission, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, replay) {
+		t.Errorf("replayed result differs:\nfull   = %+v\nreplay = %+v", full, replay)
+	}
+}
+
+func TestRunFromValidation(t *testing.T) {
+	m, rewards, _ := monitoredFailRepair(t)
+	sim, err := NewSimulator(m, rewards, rng.NewStream(1, "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunFrom(nil, 10, nil, nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+	good := &Snapshot{
+		Time:      1,
+		Tokens:    make([]int, m.NumPlaces()),
+		Scheduled: []float64{math.NaN(), math.NaN()},
+		RateAccum: make([]float64, 2),
+		LastRate:  make([]float64, 2),
+		Impulses:  make([]float64, 2),
+		RNG:       rng.NewStream(4, "s").State(),
+	}
+	good.Tokens[0] = 1
+	bad := good.Clone()
+	bad.Tokens = bad.Tokens[:1]
+	if _, err := sim.RunFrom(bad, 10, nil, nil); err == nil {
+		t.Error("wrong place count accepted")
+	}
+	bad2 := good.Clone()
+	bad2.Scheduled = bad2.Scheduled[:1]
+	if _, err := sim.RunFrom(bad2, 10, nil, nil); err == nil {
+		t.Error("wrong activity count accepted")
+	}
+	bad3 := good.Clone()
+	bad3.RateAccum = nil
+	if _, err := sim.RunFrom(bad3, 10, nil, nil); err == nil {
+		t.Error("wrong reward count accepted")
+	}
+	bad4 := good.Clone()
+	bad4.RNG = [4]uint64{}
+	if _, err := sim.RunFrom(bad4, 10, nil, nil); err == nil {
+		t.Error("degenerate RNG state accepted")
+	}
+	bad5 := good.Clone()
+	bad5.Scheduled[0] = 0.5 // before snapshot time
+	if _, err := sim.RunFrom(bad5, 10, nil, nil); err == nil {
+		t.Error("pending event in the past accepted")
+	}
+	if _, err := sim.RunFrom(good, 0.5, nil, nil); err == nil {
+		t.Error("mission before snapshot time accepted")
+	}
+	if _, err := sim.RunFrom(good, 10, nil, nil); err != nil {
+		t.Errorf("valid snapshot rejected: %v", err)
+	}
+}
+
+func TestMonitorCrossingAtTimeZero(t *testing.T) {
+	// The initial marking already satisfies the threshold: OnCross must fire
+	// at t=0 and StopOnCross must prevent any event from executing.
+	m := NewModel("t0")
+	p := m.AddPlace("p", 5)
+	q := m.AddPlace("q", 0)
+	m.AddTimedActivity("move", mustDet(t, 1)).AddInputArc(p, 1).AddOutputArc(q, 1)
+	sim, err := NewSimulator(m, nil, rng.NewStream(2, "t0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossedAt := -1.0
+	res, err := sim.RunMonitored(10, &Monitor{
+		Importance:  func(mr MarkingReader) float64 { return float64(mr.Tokens(p)) },
+		Threshold:   3,
+		OnCross:     func(now float64, _ *Snapshot) { crossedAt = now },
+		StopOnCross: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crossedAt != 0 {
+		t.Errorf("crossed at %v, want 0", crossedAt)
+	}
+	if res.Events != 0 {
+		t.Errorf("events = %d, want 0 (absorbing crossing at t=0)", res.Events)
+	}
+}
+
+func TestMonitorCrossesOnceAndSnapshotIsDeep(t *testing.T) {
+	m, rewards, imp := monitoredFailRepair(t)
+	sim, err := NewSimulator(m, rewards, rng.NewStream(44, "once"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossings := 0
+	var snap *Snapshot
+	if _, err := sim.RunMonitored(2000, &Monitor{
+		Importance: imp,
+		Threshold:  1,
+		OnCross: func(_ float64, s *Snapshot) {
+			crossings++
+			snap = s
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The component fails ~dozens of times over 2000 h, but only the first
+	// upcrossing may fire.
+	if crossings != 1 {
+		t.Errorf("crossings = %d, want 1", crossings)
+	}
+	clone := snap.Clone()
+	clone.Tokens[0]++
+	clone.Reseed(7)
+	if snap.Tokens[0] == clone.Tokens[0] {
+		t.Error("Clone aliases Tokens")
+	}
+	if snap.RNG == clone.RNG {
+		t.Error("Reseed did not change the clone's RNG state")
+	}
+}
+
+func TestSelectCaseUnderUnityMassUsesRelativeWeights(t *testing.T) {
+	// Explicit probabilities summing to 0.5 (0.2 + 0.3) with no nil case to
+	// absorb the leftovers: the old code gave the whole missing mass to the
+	// last case (selected 80% of the time); selection must renormalize to
+	// the 2:3 relative weights. As above, the values are marking-dependent
+	// so Validate's static-sum check does not reject the model.
+	var m *Model
+	var a, b *Place
+	total := func(mr MarkingReader) float64 { return float64(mr.Tokens(a) + mr.Tokens(b)) }
+	m, a, b = buildCaseCounter(t,
+		func(mr MarkingReader) float64 {
+			if total(mr) > 0 {
+				return 0.2
+			}
+			return 0.4
+		},
+		func(mr MarkingReader) float64 {
+			if total(mr) > 0 {
+				return 0.3
+			}
+			return 0.6
+		})
+	sim, err := NewSimulator(m, []RewardVariable{
+		{Name: "a", Mode: InstantAtEnd, Rate: func(mr MarkingReader) float64 { return float64(mr.Tokens(a)) }},
+		{Name: "b", Mode: InstantAtEnd, Rate: func(mr MarkingReader) float64 { return float64(mr.Tokens(b)) }},
+	}, rng.NewStream(23, "under"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(2000.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, nb := res.Rewards["a"], res.Rewards["b"]
+	if na+nb != 2000 {
+		t.Fatalf("selected %v+%v cases, want 2000", na, nb)
+	}
+	frac := nb / (na + nb)
+	if frac < 0.55 || frac > 0.65 {
+		t.Errorf("second case fraction = %v, want ~0.6 (renormalized 0.3/0.5)", frac)
+	}
+}
+
+// TestSnapshotReplayPreservesTieOrder pins the engine's same-time tiebreak
+// across snapshot/restore: two deterministic activities competing for one
+// shared token complete at the same instant, and the one scheduled first in
+// the original run must win in the replay too, even though it has the higher
+// activity index.
+func TestSnapshotReplayPreservesTieOrder(t *testing.T) {
+	m := NewModel("tie")
+	shared := m.AddPlace("shared", 1)
+	trigA := m.AddPlace("trig_a", 0)
+	trigB := m.AddPlace("trig_b", 0)
+	wonA := m.AddPlace("won_a", 0)
+	wonB := m.AddPlace("won_b", 0)
+	// B's trigger arrives at t=1, A's at t=2; both then complete at t=10,
+	// so B is scheduled first (lower engine sequence) despite A's lower
+	// activity index.
+	m.AddTimedActivity("arm_b", mustDet(t, 1)).AddOutputArc(trigB, 1)
+	m.AddTimedActivity("arm_a", mustDet(t, 2)).AddOutputArc(trigA, 1)
+	m.AddTimedActivity("a", mustDet(t, 8)).AddInputArc(trigA, 1).AddInputArc(shared, 1).AddOutputArc(wonA, 1)
+	m.AddTimedActivity("b", mustDet(t, 9)).AddInputArc(trigB, 1).AddInputArc(shared, 1).AddOutputArc(wonB, 1)
+	rewards := []RewardVariable{
+		{Name: "won_a", Mode: InstantAtEnd, Rate: func(mr MarkingReader) float64 { return float64(mr.Tokens(wonA)) }},
+		{Name: "won_b", Mode: InstantAtEnd, Rate: func(mr MarkingReader) float64 { return float64(mr.Tokens(wonB)) }},
+	}
+
+	var snap *Snapshot
+	sim1, err := NewSimulator(m, rewards, rng.NewStream(3, "tie"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot at t=2 (A's trigger arrival), when both ties are pending.
+	full, err := sim1.RunMonitored(20, &Monitor{
+		Importance: func(mr MarkingReader) float64 { return float64(mr.Tokens(trigA)) },
+		Threshold:  1,
+		OnCross:    func(_ float64, s *Snapshot) { snap = s },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Time != 2 {
+		t.Fatalf("expected snapshot at t=2, got %+v", snap)
+	}
+	if full.Rewards["won_b"] != 1 || full.Rewards["won_a"] != 0 {
+		t.Fatalf("original run: b (scheduled first) should win the tie: %+v", full.Rewards)
+	}
+
+	sim2, err := NewSimulator(m, rewards, rng.NewStream(999, "tie-replay"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := sim2.RunFrom(snap, 20, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, replay) {
+		t.Errorf("replay diverged on tied events:\nfull   = %+v\nreplay = %+v", full, replay)
+	}
 }

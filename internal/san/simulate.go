@@ -195,15 +195,19 @@ type runState struct {
 	lastRate  []float64 // rate value since last marking change
 	lastTime  float64
 	impulses  []float64
+
+	// err records a fatal model error (e.g. ErrUnstableModel) raised inside an
+	// event handler, where it cannot be returned directly; Run surfaces it.
+	err error
+
+	// monitor, when non-nil, observes the importance function after every
+	// completion; crossed latches the first threshold upcrossing.
+	monitor *Monitor
+	crossed bool
 }
 
-// Run executes a single terminating replication over [0, mission] hours and
-// returns the reward values.
-func (s *Simulator) Run(mission float64) (Result, error) {
-	if !(mission > 0) || math.IsInf(mission, 0) || math.IsNaN(mission) {
-		return Result{}, fmt.Errorf("san: invalid mission time %v", mission)
-	}
-	st := &runState{
+func (s *Simulator) newRunState() *runState {
+	return &runState{
 		mark:      newMarking(s.model.InitialMarking()),
 		engine:    des.NewEngine(),
 		scheduled: make([]*des.Event, s.model.NumActivities()),
@@ -211,22 +215,12 @@ func (s *Simulator) Run(mission float64) (Result, error) {
 		lastRate:  make([]float64, len(s.rewards)),
 		impulses:  make([]float64, len(s.rewards)),
 	}
+}
 
-	// Resolve initial instantaneous activities, then schedule enabled timed
-	// activities, then capture initial reward rates.
-	if err := s.fireInstantaneous(st); err != nil {
-		return Result{}, err
-	}
-	for _, a := range s.model.activities {
-		s.refreshActivity(st, a)
-	}
-	s.snapshotRates(st)
-
-	st.engine.Run(mission)
-
-	// Close out reward integration at the mission end.
+// finishRun closes out reward integration at the mission end and assembles
+// the replication result.
+func (s *Simulator) finishRun(st *runState, mission float64) Result {
 	s.integrateRates(st, mission)
-
 	res := Result{Rewards: make(map[string]float64, len(s.rewards)), Events: st.engine.Fired(), FinalTime: mission}
 	for i, rv := range s.rewards {
 		switch rv.Mode {
@@ -240,7 +234,47 @@ func (s *Simulator) Run(mission float64) (Result, error) {
 			}
 		}
 	}
-	return res, nil
+	return res
+}
+
+// Run executes a single terminating replication over [0, mission] hours and
+// returns the reward values.
+func (s *Simulator) Run(mission float64) (Result, error) {
+	return s.RunMonitored(mission, nil)
+}
+
+// RunMonitored executes a single terminating replication like Run, observing
+// mon (if non-nil) after initialization and after every activity completion.
+// Rare-event drivers use the monitor to detect importance-threshold
+// crossings and to snapshot the trajectory state at the crossing.
+func (s *Simulator) RunMonitored(mission float64, mon *Monitor) (Result, error) {
+	if !(mission > 0) || math.IsInf(mission, 0) || math.IsNaN(mission) {
+		return Result{}, fmt.Errorf("san: invalid mission time %v", mission)
+	}
+	st := s.newRunState()
+	st.monitor = mon
+
+	// Resolve initial instantaneous activities, then schedule enabled timed
+	// activities, then capture initial reward rates.
+	if err := s.fireInstantaneous(st); err != nil {
+		return Result{}, err
+	}
+	for _, a := range s.model.activities {
+		s.refreshActivity(st, a)
+	}
+	s.snapshotRates(st)
+	// The initial marking may already sit at or above the threshold. Engine.Run
+	// clears the stop flag on entry, so an absorbing crossing at t=0 must skip
+	// the run rather than rely on observe's Stop call.
+	s.observe(st, 0)
+
+	if !(st.crossed && mon.StopOnCross) {
+		st.engine.Run(mission)
+	}
+	if st.err != nil {
+		return Result{}, st.err
+	}
+	return s.finishRun(st, mission), nil
 }
 
 // snapshotRates records the current reward rates so that the next
@@ -304,6 +338,21 @@ func (s *Simulator) scheduleCompletion(st *runState, a *Activity) {
 	st.scheduled[a.index] = ev
 }
 
+// scheduleCompletionAt registers a pending completion of a at the absolute
+// time t. It is the snapshot-restore path: the delay was already sampled by
+// the trajectory the snapshot was taken from, so no randomness is consumed.
+func (s *Simulator) scheduleCompletionAt(st *runState, a *Activity, t float64) error {
+	ev, err := st.engine.Schedule(t, func(now float64) {
+		st.scheduled[a.index] = nil
+		s.complete(st, a, now)
+	})
+	if err != nil {
+		return err
+	}
+	st.scheduled[a.index] = ev
+	return nil
+}
+
 // complete fires activity a at time now: integrates rewards up to now,
 // applies the marking change, earns impulse rewards, and reconciles the
 // activities whose enabling may have changed.
@@ -325,9 +374,11 @@ func (s *Simulator) complete(st *runState, a *Activity, now float64) {
 	}
 
 	if err := s.fireInstantaneous(st); err != nil {
-		// Surface the instability by stopping the run; Run's caller sees a
-		// shorter event count but rewards remain well-defined.
+		// Record the instability and stop the run; Run returns the error to
+		// its caller instead of silently delivering truncated-run rewards.
+		st.err = err
 		st.engine.Stop()
+		return
 	}
 	s.reconcile(st)
 	// The completed activity may still (or again) be enabled — e.g. a source
@@ -335,6 +386,27 @@ func (s *Simulator) complete(st *runState, a *Activity, now float64) {
 	// dependency index, so reconcile it explicitly.
 	s.refreshActivity(st, a)
 	s.snapshotRates(st)
+	s.observe(st, now)
+}
+
+// observe evaluates the monitor's importance function against its threshold
+// after a state change at time now, firing the crossing callback on the
+// first upcrossing.
+func (s *Simulator) observe(st *runState, now float64) {
+	mon := st.monitor
+	if mon == nil || st.crossed || mon.Importance == nil {
+		return
+	}
+	if mon.Importance(st.mark) < mon.Threshold {
+		return
+	}
+	st.crossed = true
+	if mon.OnCross != nil {
+		mon.OnCross(now, s.snapshot(st, now))
+	}
+	if mon.StopOnCross {
+		st.engine.Stop()
+	}
 }
 
 // fire applies the marking transformation of a single activity completion.
@@ -364,6 +436,14 @@ func (s *Simulator) fire(st *runState, a *Activity) {
 
 // selectCase picks a probabilistic case of a. Activities without cases
 // return nil; a single case is returned directly.
+//
+// Explicit (marking-dependent) probabilities cannot be checked at model
+// validation time, so selection is defensive against ill-formed values:
+// negative probabilities are clamped to 0, and when the explicit mass does
+// not sum to 1 — over-unity, or under-unity with no nil-probability case to
+// absorb the leftovers — the draw is scaled to the total mass, degrading
+// gracefully to selection by relative weight instead of silently starving
+// or inflating the tail cases.
 func (s *Simulator) selectCase(st *runState, a *Activity) *Case {
 	switch len(a.cases) {
 	case 0:
@@ -371,23 +451,31 @@ func (s *Simulator) selectCase(st *runState, a *Activity) *Case {
 	case 1:
 		return &a.cases[0]
 	}
-	u := s.stream.Float64()
 	// Cases with nil probability share the mass left over by explicit ones.
 	var explicit float64
 	nilCount := 0
 	for _, c := range a.cases {
 		if c.Probability != nil {
-			explicit += c.Probability(st.mark)
+			explicit += math.Max(0, c.Probability(st.mark))
 		} else {
 			nilCount++
 		}
 	}
 	remainder := math.Max(0, 1-explicit)
+	// Total selectable mass: 1 for well-formed models (the scaling below is
+	// then a no-op up to float rounding), the explicit sum when it exceeds 1,
+	// and — with no nil case to absorb the leftover — the explicit sum also
+	// when it falls short of 1, so the last case is not silently inflated.
+	total := math.Max(1, explicit)
+	if nilCount == 0 {
+		total = explicit
+	}
+	u := s.stream.Float64() * total
 	cum := 0.0
 	for i := range a.cases {
 		p := remainder / float64(maxInt(nilCount, 1))
 		if a.cases[i].Probability != nil {
-			p = a.cases[i].Probability(st.mark)
+			p = math.Max(0, a.cases[i].Probability(st.mark))
 		}
 		cum += p
 		if u < cum {
@@ -536,16 +624,22 @@ func RunReplications(model *Model, rewards []RewardVariable, opts Options) (*Stu
 		return nil, err
 	}
 
+	type repJob struct {
+		rep  int
+		seed uint64
+	}
 	type repOutcome struct {
 		res Result
 		err error
 	}
-	jobs := make(chan uint64, opts.Replications)
-	outcomes := make(chan repOutcome, opts.Replications)
+	jobs := make(chan repJob, opts.Replications)
+	// Outcomes are indexed by replication so the reduction below is in
+	// replication order regardless of worker completion order.
+	outcomes := make([]repOutcome, opts.Replications)
 	for rep := 0; rep < opts.Replications; rep++ {
 		// Derive one seed per replication from the master stream so results
 		// do not depend on the worker that picks the job up.
-		jobs <- master.Uint64()
+		jobs <- repJob{rep: rep, seed: master.Uint64()}
 	}
 	close(jobs)
 
@@ -556,28 +650,31 @@ func RunReplications(model *Model, rewards []RewardVariable, opts Options) (*Stu
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(worker int) {
+		go func() {
 			defer wg.Done()
-			for seed := range jobs {
-				stream := rng.NewStream(seed, fmt.Sprintf("worker-%d", worker))
+			for job := range jobs {
+				stream := rng.NewStream(job.seed, fmt.Sprintf("rep-%d", job.rep))
 				sim, err := NewSimulator(model, rewards, stream)
 				if err != nil {
-					outcomes <- repOutcome{err: err}
+					outcomes[job.rep] = repOutcome{err: err}
 					continue
 				}
 				res, err := sim.Run(opts.Mission)
-				outcomes <- repOutcome{res: res, err: err}
+				outcomes[job.rep] = repOutcome{res: res, err: err}
 			}
-		}(w)
+		}()
 	}
 	wg.Wait()
-	close(outcomes)
 
+	// Reduce in replication-index order: Welford accumulation in
+	// stats.Summary is order-sensitive in floating point, so draining in
+	// completion order would make same-seed studies differ across
+	// Parallelism settings.
 	result := &StudyResult{Summaries: make(map[string]*stats.Summary, len(rewards)), Options: opts}
 	for _, rv := range rewards {
 		result.Summaries[rv.Name] = stats.NewSummary()
 	}
-	for out := range outcomes {
+	for _, out := range outcomes {
 		if out.err != nil {
 			return nil, out.err
 		}

@@ -185,6 +185,126 @@ func StudentTQuantile(p, df float64) float64 {
 	return (lo + hi) / 2
 }
 
+// NormalQuantile returns the p-quantile of the standard normal distribution,
+// computed by bisection on the CDF. It is the large-sample limit of
+// StudentTQuantile and is used by estimators whose sampling distribution is
+// asymptotically normal (binomial proportions, splitting products).
+func NormalQuantile(p float64) float64 {
+	if math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	if p == 0.5 {
+		return 0
+	}
+	cdf := func(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }
+	lo, hi := -40.0, 40.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if cdf(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// ---------------------------------------------------------------------------
+// Binomial and product-of-binomials estimators (rare-event splitting)
+// ---------------------------------------------------------------------------
+
+// BinomialProportionInterval returns the normal-approximation confidence
+// interval for a binomial proportion hits/trials. When no successes were
+// observed the half width falls back to the "rule of three" upper bound
+// ln(1/alpha)/trials (≈3/trials at 95%), so an all-miss naive Monte Carlo
+// study reports an honest nonzero uncertainty instead of a zero-width
+// interval.
+func BinomialProportionInterval(hits, trials int, confidence float64) (Interval, error) {
+	if trials < 1 || hits < 0 || hits > trials {
+		return Interval{}, fmt.Errorf("stats: invalid binomial counts %d/%d", hits, trials)
+	}
+	if !(confidence > 0 && confidence < 1) {
+		return Interval{}, fmt.Errorf("stats: confidence %v outside (0,1)", confidence)
+	}
+	n := float64(trials)
+	p := float64(hits) / n
+	var half float64
+	switch {
+	case hits == 0 || hits == trials:
+		half = math.Log(1/(1-confidence)) / n
+	default:
+		z := NormalQuantile(1 - (1-confidence)/2)
+		half = z * math.Sqrt(p*(1-p)/n)
+	}
+	return Interval{Mean: p, HalfWidth: half, Confidence: confidence, N: trials}, nil
+}
+
+// SplittingStage records one stage of a fixed-effort multilevel splitting
+// run: how many trajectories were launched and how many reached the next
+// importance level.
+type SplittingStage struct {
+	Trials int
+	Hits   int
+}
+
+// ProductBinomialInterval estimates p = Π p_k from per-stage binomial counts
+// — the fixed-effort multilevel splitting estimator, which is unbiased when
+// each stage's restarts preserve the entry state of the trajectories that
+// crossed the previous level. The confidence interval comes from the delta
+// method on log p̂, treating stages as independent:
+//
+//	Var(p̂)/p̂² ≈ Σ_k (1 - p_k) / (N_k p_k)
+//
+// (conditional on the entry-state pools; entry-state reuse makes this an
+// approximation). When some stage observed no crossings the estimate is 0
+// and the half width degrades to the product of the per-stage upper bounds
+// (rule of three for the zero stages), an honest conservative bound.
+func ProductBinomialInterval(stages []SplittingStage, confidence float64) (Interval, error) {
+	if len(stages) == 0 {
+		return Interval{}, fmt.Errorf("%w: no splitting stages", ErrInsufficientData)
+	}
+	if !(confidence > 0 && confidence < 1) {
+		return Interval{}, fmt.Errorf("stats: confidence %v outside (0,1)", confidence)
+	}
+	totalTrials := 0
+	product := 1.0
+	relVar := 0.0
+	anyZero := false
+	upper := 1.0
+	for i, st := range stages {
+		if st.Trials < 1 || st.Hits < 0 || st.Hits > st.Trials {
+			return Interval{}, fmt.Errorf("stats: stage %d has invalid counts %d/%d", i, st.Hits, st.Trials)
+		}
+		totalTrials += st.Trials
+		n := float64(st.Trials)
+		pk := float64(st.Hits) / n
+		product *= pk
+		if st.Hits == 0 {
+			anyZero = true
+			upper *= math.Log(1/(1-confidence)) / n
+			continue
+		}
+		upper *= pk
+		relVar += (1 - pk) / (n * pk)
+	}
+	if anyZero {
+		return Interval{Mean: 0, HalfWidth: upper, Confidence: confidence, N: totalTrials}, nil
+	}
+	z := NormalQuantile(1 - (1-confidence)/2)
+	return Interval{
+		Mean:       product,
+		HalfWidth:  z * product * math.Sqrt(relVar),
+		Confidence: confidence,
+		N:          totalTrials,
+	}, nil
+}
+
 // RegularizedIncompleteBeta computes I_x(a, b) using the continued-fraction
 // expansion (Numerical Recipes style, re-derived from the standard Lentz
 // algorithm).

@@ -325,3 +325,130 @@ func TestQuickStudentTMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.995, 2.575829},
+		{0.841344746, 1}, // Phi(1)
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("boundary quantiles should be infinite")
+	}
+	if !math.IsNaN(NormalQuantile(math.NaN())) {
+		t.Error("NaN probability should propagate")
+	}
+}
+
+func TestBinomialProportionInterval(t *testing.T) {
+	ci, err := BinomialProportionInterval(50, 100, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Mean != 0.5 || ci.N != 100 {
+		t.Errorf("ci = %+v", ci)
+	}
+	want := 1.959964 * math.Sqrt(0.25/100)
+	if math.Abs(ci.HalfWidth-want) > 1e-5 {
+		t.Errorf("half width = %v, want %v", ci.HalfWidth, want)
+	}
+
+	// Zero hits: rule-of-three fallback ln(1/0.05)/n ~= 3/n.
+	zero, err := BinomialProportionInterval(0, 1000, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Mean != 0 {
+		t.Errorf("mean = %v", zero.Mean)
+	}
+	if math.Abs(zero.HalfWidth-math.Log(20)/1000) > 1e-12 {
+		t.Errorf("zero-hit half width = %v", zero.HalfWidth)
+	}
+
+	// All hits mirrors the zero-hit bound.
+	all, err := BinomialProportionInterval(1000, 1000, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Mean != 1 || all.HalfWidth != zero.HalfWidth {
+		t.Errorf("all-hit ci = %+v", all)
+	}
+
+	for _, bad := range []struct{ h, n int }{{-1, 10}, {11, 10}, {0, 0}} {
+		if _, err := BinomialProportionInterval(bad.h, bad.n, 0.95); err == nil {
+			t.Errorf("counts %d/%d accepted", bad.h, bad.n)
+		}
+	}
+	if _, err := BinomialProportionInterval(1, 10, 1.5); err == nil {
+		t.Error("confidence 1.5 accepted")
+	}
+}
+
+func TestProductBinomialInterval(t *testing.T) {
+	// Single stage reduces to a binomial proportion with delta-method width.
+	one, err := ProductBinomialInterval([]SplittingStage{{Trials: 200, Hits: 50}}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(one.Mean-0.25) > 1e-12 {
+		t.Errorf("mean = %v", one.Mean)
+	}
+	wantRel := (1 - 0.25) / (200 * 0.25)
+	wantHalf := 1.959964 * 0.25 * math.Sqrt(wantRel)
+	if math.Abs(one.HalfWidth-wantHalf) > 1e-5 {
+		t.Errorf("half width = %v, want %v", one.HalfWidth, wantHalf)
+	}
+
+	// Two stages multiply and the relative variances add.
+	two, err := ProductBinomialInterval([]SplittingStage{
+		{Trials: 100, Hits: 20},
+		{Trials: 100, Hits: 10},
+	}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(two.Mean-0.02) > 1e-12 {
+		t.Errorf("mean = %v", two.Mean)
+	}
+	rel := (1-0.2)/(100*0.2) + (1-0.1)/(100*0.1)
+	if math.Abs(two.HalfWidth-1.959964*0.02*math.Sqrt(rel)) > 1e-5 {
+		t.Errorf("half width = %v", two.HalfWidth)
+	}
+	if two.N != 200 {
+		t.Errorf("N = %d", two.N)
+	}
+
+	// A zero-hit stage collapses the estimate to 0 with the conservative
+	// product bound as half width.
+	zero, err := ProductBinomialInterval([]SplittingStage{
+		{Trials: 100, Hits: 20},
+		{Trials: 50, Hits: 0},
+	}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Mean != 0 {
+		t.Errorf("mean = %v", zero.Mean)
+	}
+	wantBound := 0.2 * math.Log(20) / 50
+	if math.Abs(zero.HalfWidth-wantBound) > 1e-12 {
+		t.Errorf("bound = %v, want %v", zero.HalfWidth, wantBound)
+	}
+
+	if _, err := ProductBinomialInterval(nil, 0.95); err == nil {
+		t.Error("empty stages accepted")
+	}
+	if _, err := ProductBinomialInterval([]SplittingStage{{Trials: 0, Hits: 0}}, 0.95); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := ProductBinomialInterval([]SplittingStage{{Trials: 10, Hits: 5}}, 0); err == nil {
+		t.Error("confidence 0 accepted")
+	}
+}
