@@ -10,10 +10,10 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the packages with concurrent replication runners and the
-# snapshot/clone machinery of the rare-event engine.
+# Race-check the packages with concurrent replication runners, the sharded
+# sweep engine, and the snapshot/clone machinery of the rare-event engine.
 race:
-	$(GO) test -race ./internal/san/... ./internal/rareevent/...
+	$(GO) test -race ./internal/san/... ./internal/sweep/... ./internal/rareevent/...
 
 vet:
 	$(GO) vet ./...

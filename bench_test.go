@@ -17,6 +17,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/raid"
 	"repro/internal/san"
+	"repro/internal/sweep"
 )
 
 // benchOptions keeps per-iteration cost bounded: quick sweeps, few
@@ -88,6 +89,83 @@ func BenchmarkAblationAnalyticVsSim(b *testing.B) { runExperiment(b, "ablation-a
 // checkpoint/restart efficiency implied by the measured CFS dependability at
 // ABE and petascale sizes.
 func BenchmarkExtensionCheckpoint(b *testing.B) { runExperiment(b, "extension-checkpoint") }
+
+// BenchmarkFigure4Sweep compares the two ways of running the Figure 4
+// scaling study at equal replication counts and identical per-point seeds:
+// "sharded" schedules every (configuration, replication) job of the whole
+// sweep over one shared worker pool with per-configuration cached models and
+// simulators (internal/sweep), while "per-config" evaluates each point with
+// its own abe.Evaluate — a fresh pool, model, and simulator set per
+// configuration. Both produce bit-identical measures; the benchmark isolates
+// the scheduling and caching win.
+func BenchmarkFigure4Sweep(b *testing.B) {
+	opts := san.Options{Mission: 2190, Replications: 8, Seed: 1}
+	figure4Points := func() []sweep.Point {
+		return experiments.Figure4Points(opts.Seed, experiments.Figure4ScaleFactors(true))
+	}
+	b.Run("sharded", func(b *testing.B) {
+		points := figure4Points()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sweep.Run(points, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Points) != len(points) {
+				b.Fatalf("points = %d, want %d", len(res.Points), len(points))
+			}
+		}
+	})
+	b.Run("per-config", func(b *testing.B) {
+		points := figure4Points()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, pt := range points {
+				ptOpts := opts
+				ptOpts.Seed = pt.Seed
+				if _, err := abe.Evaluate(pt.Config, ptOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	// The pre-sweep evaluation loop: a fresh Simulator per replication (so
+	// the O(model) dependency and impulse indexes are re-derived every time)
+	// and a serial reduction per configuration. Kept as the historical
+	// baseline the sharded engine is measured against.
+	b.Run("per-replication-simulators", func(b *testing.B) {
+		points := figure4Points()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, pt := range points {
+				ptOpts := opts
+				ptOpts.Seed = pt.Seed
+				ptOpts = ptOpts.WithDefaults()
+				model := san.NewModel(pt.Config.Name)
+				mp, err := abe.Build(model, pt.Config)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rewards := mp.Rewards()
+				study := san.NewStudyResult(rewards, ptOpts)
+				for rep, seed := range san.ReplicationSeeds(ptOpts) {
+					sim, err := san.NewSimulator(model, rewards, san.ReplicationStream(seed, rep))
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := sim.Run(ptOpts.Mission)
+					if err != nil {
+						b.Fatal(err)
+					}
+					study.Add(res)
+				}
+				if _, err := abe.MeasuresFromStudy(pt.Config, study); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
 
 // BenchmarkAblationSpareOSS isolates the standby-spare OSS design choice at
 // petascale (Figure 4's fourth series) without the rest of the sweep.

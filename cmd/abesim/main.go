@@ -6,15 +6,26 @@
 // how much narrower the splitting confidence interval is at equal
 // simulated-event budget.
 //
+// The figure4 experiment runs the paper's headline scaling study as one
+// sharded multi-configuration sweep (internal/sweep): base and spare-OSS
+// variants of every scale factor share a single worker pool with per-point
+// cached models and simulators, and the result is bit-identical for any
+// parallelism. With -json it emits the sweep's machine-readable report —
+// per-point measures with unit-scaled confidence intervals — instead of the
+// rendered figure. -json works for every experiment: stdout is exactly one
+// valid JSON document (with -all, an object mapping experiment name to
+// report), so the output pipes straight into jq or a plotting script.
+//
 // Usage:
 //
-//	abesim -experiment figure4 [-replications 60] [-mission 8760] [-seed 1] [-quick]
+//	abesim -experiment figure4 [-replications 60] [-mission 8760] [-seed 1] [-quick] [-json]
 //	abesim -experiment rare_event_dataloss -quick
 //	abesim -list
 //	abesim -all -quick
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +46,7 @@ func main() {
 		mission      = flag.Float64("mission", 0, "mission time per replication in hours (0 = one year)")
 		seed         = flag.Uint64("seed", 0, "random seed (0 = default)")
 		quick        = flag.Bool("quick", false, "fewer replications and sweep points")
+		jsonOut      = flag.Bool("json", false, "emit machine-readable JSON instead of rendered text")
 	)
 	flag.Parse()
 
@@ -60,11 +72,34 @@ func main() {
 		os.Exit(2)
 	}
 
+	// With -json, stdout is exactly one valid JSON document: the experiment's
+	// report alone, or — for several experiments — an envelope object mapping
+	// experiment name to report.
+	envelope := make(map[string]json.RawMessage, len(names))
 	for _, n := range names {
-		out, err := experiments.Run(n, opts)
+		artifact, err := experiments.RunArtifact(n, opts)
 		if err != nil {
 			log.Fatalf("experiment %q: %v", n, err)
 		}
-		fmt.Printf("### %s\n\n%s\n", n, out)
+		if *jsonOut {
+			doc, err := artifact.JSON()
+			if err != nil {
+				log.Fatalf("experiment %q: encoding JSON: %v", n, err)
+			}
+			if len(names) == 1 {
+				fmt.Print(doc)
+				return
+			}
+			envelope[n] = json.RawMessage(doc)
+			continue
+		}
+		fmt.Printf("### %s\n\n%s\n", n, artifact.Render())
+	}
+	if *jsonOut {
+		out, err := json.MarshalIndent(envelope, "", "  ")
+		if err != nil {
+			log.Fatalf("encoding JSON envelope: %v", err)
+		}
+		fmt.Println(string(out))
 	}
 }

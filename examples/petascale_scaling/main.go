@@ -3,19 +3,32 @@
 // current scale and as it is scaled toward a petaflop-petabyte system,
 // reporting storage availability, CFS availability, cluster utility, and the
 // gain from a standby-spare OSS at each scale.
+//
+// All twelve design points (six scale factors, with and without the spare
+// OSS) run as one sharded sweep over a shared worker pool — models are
+// composed once per point, simulators are reused across replications, and
+// the slow petascale points overlap with the fast ABE-scale ones. Every
+// point shares one study seed (common random numbers), so the spare-OSS
+// column is directly comparable to the base one. Pass -json to emit the
+// sweep's machine-readable report instead of the text table.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"repro/internal/abe"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/san"
+	"repro/internal/sweep"
 )
 
 func main() {
 	log.SetFlags(0)
+	jsonOut := flag.Bool("json", false, "emit the machine-readable sweep report instead of the text table")
+	flag.Parse()
 
 	opts := san.Options{
 		Mission:      8760,
@@ -23,25 +36,35 @@ func main() {
 		Seed:         2008,
 	}
 
+	factors := experiments.Figure4ScaleFactors(false)
+	res, err := sweep.Run(experiments.Figure4Points(opts.Seed, factors), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *jsonOut {
+		out, err := res.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
 	fmt.Println("Scaling the ABE CFS design toward petascale (Figure 4 reproduction)")
 	fmt.Println()
 	fmt.Printf("%-8s  %-12s  %-12s  %-10s  %-12s  %-12s\n",
 		"scale", "storage", "CFS avail", "CU", "CFS+spare", "disks/week")
 
-	for _, factor := range []float64{1, 2, 4, 6, 8, 10} {
-		cfg := abe.ABE().ScaledBy(factor)
-		base, err := abe.Evaluate(cfg, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		spare, err := abe.Evaluate(cfg.WithSpareOSS(true), opts)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, factor := range factors {
+		base := res.Points[2*i].Measures
+		spare := res.Points[2*i+1].Measures
 		fmt.Printf("%-8.0fx %-12.5f  %-12.4f  %-10.4f  %-12.4f  %-12.2f\n",
 			factor, base.StorageAvailability, base.CFSAvailability, base.ClusterUtility,
 			spare.CFSAvailability, base.DiskReplacementsPerWeek)
 	}
+	fmt.Printf("\n%d points, %d replications each, %d simulated events total\n",
+		len(res.Points), res.Options.Replications, res.TotalEvents)
 
 	fmt.Println()
 	rec, err := core.RecommendSpareOSS(abe.Petascale(), opts)

@@ -31,6 +31,11 @@ const (
 // ErrBadConfig reports an invalid cluster configuration.
 var ErrBadConfig = errors.New("abe: invalid configuration")
 
+// ErrMissingReward reports a study that lacks one of the reward variables the
+// derived measures are built from — a reward-wiring typo that would otherwise
+// surface as silent NaN availabilities.
+var ErrMissingReward = errors.New("abe: required reward missing from study")
+
 // OSSConfig parameterizes the metadata/file-server (OSS) fail-over pairs.
 type OSSConfig struct {
 	// HWMTBFHours is the per-server hardware MTBF. Table 5's "1-2 hardware
@@ -468,7 +473,11 @@ type Measures struct {
 	// LostJobsPerYear splits the expected annual job losses by cause.
 	LostJobsTransientPerYear float64
 	LostJobsCFSPerYear       float64
-	// Intervals holds the 95% confidence intervals of the raw reward means.
+	// Intervals holds the confidence intervals of the reward means, in the
+	// same units as the headline fields above: the disk-replacement interval
+	// is per week and the lost-job intervals are per year, matching
+	// DiskReplacementsPerWeek and LostJobs*PerYear; the availability
+	// intervals are dimensionless fractions.
 	Intervals map[string]stats.Interval
 	// MissionHours is the mission time each replication covered.
 	MissionHours float64
@@ -488,34 +497,82 @@ func Evaluate(cfg Config, opts san.Options) (Measures, error) {
 	if err != nil {
 		return Measures{}, err
 	}
-	return deriveMeasures(cfg, study)
+	return MeasuresFromStudy(cfg, study)
 }
 
-func deriveMeasures(cfg Config, study *san.StudyResult) (Measures, error) {
+// MeasuresFromStudy derives the paper's measures from a completed study of
+// the composed model for cfg. Evaluate uses it after running the replications
+// itself; sweep engines that schedule the replications of many configurations
+// over one shared worker pool reduce each configuration's results into a
+// san.StudyResult and derive the measures here.
+func MeasuresFromStudy(cfg Config, study *san.StudyResult) (Measures, error) {
 	mission := study.Options.Mission
+	if !(mission > 0) || math.IsInf(mission, 0) {
+		// A hand-assembled study that skipped san.Options.WithDefaults would
+		// otherwise turn the per-week/per-year unit scales into Inf/NaN.
+		return Measures{}, fmt.Errorf("abe: study mission %v must be a positive finite duration", mission)
+	}
 	totalJobs := cfg.Workload.JobsPerHour * mission
+	if !(totalJobs > 0) {
+		// Guaranteed by Config.Validate for Evaluate/sweep callers; a
+		// hand-assembled study with an unvalidated config would otherwise
+		// publish ClusterUtility = 1 - 0/0 = NaN (the clamp passes NaN
+		// through).
+		return Measures{}, fmt.Errorf("%w: job rate %v over mission %v h yields no jobs",
+			ErrBadConfig, cfg.Workload.JobsPerHour, mission)
+	}
+	// Require every reward the measures are built from: study.Mean returns
+	// NaN for an unknown name, so a reward-wiring typo would otherwise yield
+	// silent NaN availabilities.
+	for _, name := range []string{
+		RewardStorageAvailability, RewardCFSAvailability, RewardDiskReplacements,
+		RewardLostJobsCFS, RewardLostJobsTransient,
+	} {
+		if _, ok := study.Summaries[name]; !ok {
+			return Measures{}, fmt.Errorf("%w: %q", ErrMissingReward, name)
+		}
+	}
 	lostTransient := study.Mean(RewardLostJobsTransient)
 	lostCFS := study.Mean(RewardLostJobsCFS)
+	// CU = 1 - failedJobs/totalJobs is an expectation ratio estimated from
+	// finite replications, so clamp it to its mathematical range: sampling
+	// noise can push the raw ratio below 0 (catastrophic short missions) or
+	// above 1 (impulse accounting quirks at tiny job counts).
 	cu := 1 - (lostTransient+lostCFS)/totalJobs
-	if cu < 0 {
-		cu = 0
-	}
+	cu = math.Min(1, math.Max(0, cu))
+	// The same mission-total -> per-week/per-year factors rescale both the
+	// headline fields and (below) their confidence intervals, keeping the
+	// interval center bit-identical to the headline value.
+	weekScale := dist.HoursPerWeek / mission
+	yearScale := dist.HoursPerYear / mission
 	m := Measures{
 		Config:                   cfg,
 		StorageAvailability:      study.Mean(RewardStorageAvailability),
 		CFSAvailability:          study.Mean(RewardCFSAvailability),
 		ClusterUtility:           cu,
-		DiskReplacementsPerWeek:  study.Mean(RewardDiskReplacements) * dist.HoursPerWeek / mission,
-		LostJobsTransientPerYear: lostTransient * dist.HoursPerYear / mission,
-		LostJobsCFSPerYear:       lostCFS * dist.HoursPerYear / mission,
+		DiskReplacementsPerWeek:  study.Mean(RewardDiskReplacements) * weekScale,
+		LostJobsTransientPerYear: lostTransient * yearScale,
+		LostJobsCFSPerYear:       lostCFS * yearScale,
 		Intervals:                make(map[string]stats.Interval, len(study.Summaries)),
 		MissionHours:             mission,
 		Replications:             study.Options.Replications,
+	}
+	// The headline rate measures are rescaled from mission totals to
+	// per-week/per-year units; their confidence intervals must be scaled by
+	// the same factors or the reported uncertainty is in the wrong units.
+	unitScale := map[string]float64{
+		RewardDiskReplacements:  weekScale,
+		RewardLostJobsCFS:       yearScale,
+		RewardLostJobsTransient: yearScale,
 	}
 	for name := range study.Summaries {
 		ci, err := study.Interval(name)
 		if err != nil {
 			return Measures{}, fmt.Errorf("abe: interval for %q: %w", name, err)
+		}
+		if f, ok := unitScale[name]; ok {
+			ci.Mean *= f
+			ci.HalfWidth *= f
 		}
 		m.Intervals[name] = ci
 	}

@@ -1,6 +1,7 @@
 package abe
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -313,3 +314,116 @@ func TestQuickMeasureBounds(t *testing.T) {
 }
 
 func newStream() *rng.Stream { return rng.NewStream(99, "abe-test") }
+
+func TestIntervalUnitsMatchHeadlineMeasures(t *testing.T) {
+	// The disk-replacement and lost-job headline fields are rescaled to
+	// per-week/per-year units; their confidence intervals must be published
+	// in the same units (the interval center equals the headline value).
+	m, err := Evaluate(ABE(), san.Options{Mission: 4380, Replications: 8, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		reward   string
+		headline float64
+	}{
+		{RewardDiskReplacements, m.DiskReplacementsPerWeek},
+		{RewardLostJobsCFS, m.LostJobsCFSPerYear},
+		{RewardLostJobsTransient, m.LostJobsTransientPerYear},
+		{RewardStorageAvailability, m.StorageAvailability},
+		{RewardCFSAvailability, m.CFSAvailability},
+	}
+	for _, c := range checks {
+		ci, ok := m.Intervals[c.reward]
+		if !ok {
+			t.Errorf("interval for %q missing", c.reward)
+			continue
+		}
+		if ci.Mean != c.headline {
+			t.Errorf("%q interval center %v != headline %v (interval left in mission-total units?)",
+				c.reward, ci.Mean, c.headline)
+		}
+	}
+	// The rescaled interval must still be a genuine interval.
+	if ci := m.Intervals[RewardDiskReplacements]; !(ci.HalfWidth > 0) {
+		t.Errorf("disk-replacement interval degenerate: %+v", ci)
+	}
+}
+
+// syntheticStudy builds a study whose required rewards have the given
+// constant per-replication values, for exercising MeasuresFromStudy edge
+// cases without a simulation.
+func syntheticStudy(t *testing.T, mission float64, values map[string]float64) *san.StudyResult {
+	t.Helper()
+	rewards := make([]san.RewardVariable, 0, len(values))
+	for name := range values {
+		rewards = append(rewards, san.RewardVariable{Name: name})
+	}
+	opts := san.Options{Mission: mission, Replications: 2, Confidence: 0.95, Seed: 1, Parallelism: 1}
+	study := san.NewStudyResult(rewards, opts)
+	for rep := 0; rep < 2; rep++ {
+		res := san.Result{Rewards: make(map[string]float64, len(values)), FinalTime: mission}
+		for name, v := range values {
+			// Offset the second replication slightly so intervals are finite.
+			res.Rewards[name] = v * (1 + 0.01*float64(rep))
+		}
+		study.Add(res)
+	}
+	return study
+}
+
+func requiredRewardValues() map[string]float64 {
+	return map[string]float64{
+		RewardStorageAvailability: 0.999,
+		RewardCFSAvailability:     0.97,
+		RewardDiskReplacements:    10,
+		RewardLostJobsCFS:         100,
+		RewardLostJobsTransient:   300,
+	}
+}
+
+func TestMeasuresFromStudyMissingReward(t *testing.T) {
+	values := requiredRewardValues()
+	delete(values, RewardCFSAvailability)
+	study := syntheticStudy(t, 8760, values)
+	_, err := MeasuresFromStudy(ABE(), study)
+	if !errors.Is(err, ErrMissingReward) {
+		t.Fatalf("missing reward error = %v, want ErrMissingReward", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), RewardCFSAvailability) {
+		t.Errorf("error %q does not name the missing reward", err)
+	}
+	// A complete study succeeds and never returns NaN measures.
+	full, err := MeasuresFromStudy(ABE(), syntheticStudy(t, 8760, requiredRewardValues()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(full.CFSAvailability) || math.IsNaN(full.ClusterUtility) {
+		t.Errorf("NaN measures from a complete study: %+v", full)
+	}
+}
+
+func TestClusterUtilityClamped(t *testing.T) {
+	// Negative accumulated job losses (an estimator pathology) would push the
+	// raw CU ratio above 1; it must be clamped to the unit interval.
+	over := requiredRewardValues()
+	over[RewardLostJobsCFS] = -1e6
+	over[RewardLostJobsTransient] = -1e6
+	m, err := MeasuresFromStudy(ABE(), syntheticStudy(t, 8760, over))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ClusterUtility != 1 {
+		t.Errorf("CU = %v, want clamped to 1", m.ClusterUtility)
+	}
+	// Catastrophic losses push it below 0; clamped at 0.
+	under := requiredRewardValues()
+	under[RewardLostJobsCFS] = 1e9
+	m, err = MeasuresFromStudy(ABE(), syntheticStudy(t, 8760, under))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ClusterUtility != 0 {
+		t.Errorf("CU = %v, want clamped to 0", m.ClusterUtility)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/loggen"
 	"repro/internal/report"
 	"repro/internal/san"
+	"repro/internal/sweep"
 )
 
 // ErrNoDesigns is returned when a comparison is requested over no designs.
@@ -53,53 +54,58 @@ func CalibrateFromLogs(logs *loggen.Logs, base abe.Config, diskPopulation int) (
 }
 
 // CompareDesigns evaluates each design and returns a comparison table plus
-// the raw measures, in input order.
+// the raw measures, in input order. The designs run as one sharded sweep over
+// a shared worker pool, and every design is pinned to the same study seed
+// (common random numbers), so measured differences reflect the designs, not
+// the draws.
 func CompareDesigns(designs []DesignChoice, opts san.Options) (report.Table, []abe.Measures, error) {
 	if len(designs) == 0 {
 		return report.Table{}, nil, ErrNoDesigns
 	}
-	table := report.Table{
-		Title: "Design comparison",
-		Headers: []string{
-			"Design", "Storage availability", "CFS availability", "Cluster utility", "Disks replaced/week",
-		},
+	opts = opts.WithDefaults()
+	points := make([]sweep.Point, len(designs))
+	for i, d := range designs {
+		points[i] = sweep.Point{Label: d.Name, Config: d.Config, Seed: opts.Seed}
 	}
-	measures := make([]abe.Measures, 0, len(designs))
-	for _, d := range designs {
-		m, err := abe.Evaluate(d.Config, opts)
-		if err != nil {
-			return report.Table{}, nil, fmt.Errorf("core: evaluating %q: %w", d.Name, err)
-		}
-		measures = append(measures, m)
-		table.AddRow(d.Name,
-			fmt.Sprintf("%.5f", m.StorageAvailability),
-			fmt.Sprintf("%.4f", m.CFSAvailability),
-			fmt.Sprintf("%.4f", m.ClusterUtility),
-			fmt.Sprintf("%.2f", m.DiskReplacementsPerWeek),
-		)
+	res, err := sweep.Run(points, opts)
+	if err != nil {
+		return report.Table{}, nil, fmt.Errorf("core: %w", err)
+	}
+	table := res.Table("Design comparison")
+	table.Headers[0] = "Design"
+	measures := make([]abe.Measures, len(res.Points))
+	for i, pt := range res.Points {
+		measures[i] = pt.Measures
 	}
 	return table, measures, nil
 }
 
 // ScalingStudy evaluates the base configuration at each scale factor and
 // returns the availability/utility curves (the core of Figure 4) plus the
-// raw measures.
+// raw measures. Like CompareDesigns, the factors run as one sharded sweep
+// with a shared seed.
 func ScalingStudy(base abe.Config, factors []float64, opts san.Options) (report.Figure, []abe.Measures, error) {
 	if len(factors) == 0 {
 		return report.Figure{}, nil, errors.New("core: no scale factors")
+	}
+	opts = opts.WithDefaults()
+	points := make([]sweep.Point, len(factors))
+	for i, f := range factors {
+		points[i] = sweep.Point{Config: base.ScaledBy(f), Seed: opts.Seed}
+	}
+	res, err := sweep.Run(points, opts)
+	if err != nil {
+		return report.Figure{}, nil, fmt.Errorf("core: %w", err)
 	}
 	fig := report.Figure{
 		Title:  fmt.Sprintf("Scaling study of %s", base.Name),
 		XLabel: "scale factor",
 		YLabel: "availability / utility",
 	}
-	measures := make([]abe.Measures, 0, len(factors))
-	for _, f := range factors {
-		m, err := abe.Evaluate(base.ScaledBy(f), opts)
-		if err != nil {
-			return report.Figure{}, nil, fmt.Errorf("core: scale %v: %w", f, err)
-		}
-		measures = append(measures, m)
+	measures := make([]abe.Measures, len(res.Points))
+	for i, f := range factors {
+		m := res.Points[i].Measures
+		measures[i] = m
 		fig.AddPoint("Storage-availability", report.Point{X: f, Y: m.StorageAvailability})
 		fig.AddPoint("CFS-Availability", report.Point{X: f, Y: m.CFSAvailability})
 		fig.AddPoint("CU", report.Point{X: f, Y: m.ClusterUtility})

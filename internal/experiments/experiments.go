@@ -19,6 +19,7 @@ import (
 	"repro/internal/rareevent"
 	"repro/internal/report"
 	"repro/internal/san"
+	"repro/internal/sweep"
 )
 
 // Options controls the cost/accuracy trade-off of the simulation studies.
@@ -391,26 +392,44 @@ func Figure4ScaleFactors(quick bool) []float64 {
 	return []float64{1, 2, 4, 6, 8, 10}
 }
 
-// Figure4AvailabilityAndCU reproduces Figure 4: storage availability, CFS
-// availability, cluster utility, and CFS availability with a standby-spare
-// OSS, as the ABE design is scaled to a petaflop-petabyte system.
-func Figure4AvailabilityAndCU(opts Options) (report.Figure, error) {
+// Figure4Points builds the sweep points of the Figure 4 scaling study: a
+// (base, spare-OSS) pair per scale factor, in factor order, every point
+// pinned to the given study seed (common random numbers), which keeps the
+// spare-vs-base comparison at each scale sharper than independent draws
+// would be. It is the single source of truth shared by Figure4Sweep, the
+// petascale_scaling example, and BenchmarkFigure4Sweep.
+func Figure4Points(seed uint64, factors []float64) []sweep.Point {
+	points := make([]sweep.Point, 0, 2*len(factors))
+	for _, factor := range factors {
+		cfg := abe.ABE().ScaledBy(factor)
+		points = append(points,
+			sweep.Point{Config: cfg, Seed: seed},
+			sweep.Point{Label: cfg.Name + " +spare OSS", Config: cfg.WithSpareOSS(true), Seed: seed},
+		)
+	}
+	return points
+}
+
+// Figure4Sweep runs the Figure 4 scaling study as one sharded sweep: base and
+// spare-OSS variants of every scale factor are evaluated over a single shared
+// worker pool, so the slow petascale points overlap with the fast ABE-scale
+// ones instead of each draining its own pool.
+func Figure4Sweep(opts Options) (*sweep.Result, error) {
 	opts = opts.withDefaults()
+	return sweep.Run(Figure4Points(opts.Seed, Figure4ScaleFactors(opts.Quick)), opts.sanOptions())
+}
+
+// figure4FromSweep projects the (base, spare) point pairs of the Figure 4
+// sweep onto the figure's four series.
+func figure4FromSweep(res *sweep.Result, factors []float64) report.Figure {
 	fig := report.Figure{
 		Title:  "Figure 4: Availability and utility of the ABE cluster when scaled to a petaflop-petabyte system",
 		XLabel: "scale factor (x ABE I/O subsystem)",
 		YLabel: "availability / utility",
 	}
-	for _, factor := range Figure4ScaleFactors(opts.Quick) {
-		cfg := abe.ABE().ScaledBy(factor)
-		measures, err := abe.Evaluate(cfg, opts.sanOptions())
-		if err != nil {
-			return report.Figure{}, err
-		}
-		spareMeasures, err := abe.Evaluate(cfg.WithSpareOSS(true), opts.sanOptions())
-		if err != nil {
-			return report.Figure{}, err
-		}
+	for i, factor := range factors {
+		measures := res.Points[2*i].Measures
+		spareMeasures := res.Points[2*i+1].Measures
 		storageCI := measures.Intervals[abe.RewardStorageAvailability]
 		cfsCI := measures.Intervals[abe.RewardCFSAvailability]
 		spareCI := spareMeasures.Intervals[abe.RewardCFSAvailability]
@@ -419,7 +438,26 @@ func Figure4AvailabilityAndCU(opts Options) (report.Figure, error) {
 		fig.AddPoint("CU", report.Point{X: factor, Y: measures.ClusterUtility})
 		fig.AddPoint("CFS-Availability-spare-OSS", report.Point{X: factor, Y: spareMeasures.CFSAvailability, HalfWidth: spareCI.HalfWidth})
 	}
-	return fig, nil
+	return fig
+}
+
+// runFigure4 is the single construction path behind both the Figure 4 API
+// and the abesim artifact: one sharded sweep, projected onto the figure.
+func runFigure4(opts Options) (figure4Artifact, error) {
+	opts = opts.withDefaults()
+	res, err := Figure4Sweep(opts)
+	if err != nil {
+		return figure4Artifact{}, err
+	}
+	return figure4Artifact{fig: figure4FromSweep(res, Figure4ScaleFactors(opts.Quick)), res: res}, nil
+}
+
+// Figure4AvailabilityAndCU reproduces Figure 4: storage availability, CFS
+// availability, cluster utility, and CFS availability with a standby-spare
+// OSS, as the ABE design is scaled to a petaflop-petabyte system.
+func Figure4AvailabilityAndCU(opts Options) (report.Figure, error) {
+	a, err := runFigure4(opts)
+	return a.fig, err
 }
 
 // ---------------------------------------------------------------------------
@@ -678,47 +716,76 @@ func Names() []string {
 	}
 }
 
-// Run executes the named experiment and returns its rendered text output.
-func Run(name string, opts Options) (string, error) {
+// figure4Artifact renders the Figure 4 series as text but exposes the richer
+// sweep report — per-point measures with unit-scaled confidence intervals —
+// as its machine-readable form.
+type figure4Artifact struct {
+	fig report.Figure
+	res *sweep.Result
+}
+
+// Render returns the figure's text table.
+func (a figure4Artifact) Render() string { return a.fig.Render() }
+
+// JSON returns the sweep report behind the figure.
+func (a figure4Artifact) JSON() (string, error) { return a.res.JSON() }
+
+// RunArtifact executes the named experiment and returns its result as a
+// report.Artifact, so callers choose between the human-readable rendering
+// (Render) and the machine-readable one (JSON).
+func RunArtifact(name string, opts Options) (report.Artifact, error) {
 	switch name {
 	case "table1":
 		t, err := Table1Outages(opts)
-		return t.Render(), err
+		return t, err
 	case "table2":
 		t, err := Table2MountFailures(opts)
-		return t.Render(), err
+		return t, err
 	case "table3":
 		t, err := Table3JobStats(opts)
-		return t.Render(), err
+		return t, err
 	case "table4":
 		t, err := Table4DiskSurvival(opts)
-		return t.Render(), err
+		return t, err
 	case "table5":
-		return Table5Parameters().Render(), nil
+		return Table5Parameters(), nil
 	case "figure1":
-		return Figure1Composition()
+		s, err := Figure1Composition()
+		return report.Text(s), err
 	case "figure2":
 		f, err := Figure2StorageAvailability(opts)
-		return f.Render(), err
+		return f, err
 	case "figure3":
 		f, err := Figure3DiskReplacement(opts)
-		return f.Render(), err
+		return f, err
 	case "figure4":
-		f, err := Figure4AvailabilityAndCU(opts)
-		return f.Render(), err
+		a, err := runFigure4(opts)
+		if err != nil {
+			return nil, err
+		}
+		return a, nil
 	case "rare_event_dataloss":
 		t, err := RareEventDataLoss(opts)
-		return t.Render(), err
+		return t, err
 	case "ablation-correlation":
 		f, err := AblationCorrelation(opts)
-		return f.Render(), err
+		return f, err
 	case "ablation-analytic":
 		t, err := AblationAnalyticVsSim(opts)
-		return t.Render(), err
+		return t, err
 	case "extension-checkpoint":
 		t, err := ExtensionCheckpoint(opts)
-		return t.Render(), err
+		return t, err
 	default:
-		return "", fmt.Errorf("%w: %q (known: %v)", ErrUnknownExperiment, name, Names())
+		return nil, fmt.Errorf("%w: %q (known: %v)", ErrUnknownExperiment, name, Names())
 	}
+}
+
+// Run executes the named experiment and returns its rendered text output.
+func Run(name string, opts Options) (string, error) {
+	a, err := RunArtifact(name, opts)
+	if err != nil {
+		return "", err
+	}
+	return a.Render(), nil
 }

@@ -1,0 +1,49 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Artifact is any renderable experiment output: human-readable text via
+// Render and a machine-readable encoding via JSON. Tables, figures, and plain
+// text blocks all satisfy it, so experiment dispatchers can hand back one
+// type regardless of how a result is presented.
+type Artifact interface {
+	// Render returns the artifact as human-readable text.
+	Render() string
+	// JSON returns the artifact as indented JSON.
+	JSON() (string, error)
+}
+
+// ToJSON encodes v as deterministic, indented JSON (map keys are sorted by
+// encoding/json). It is the single encoder every artifact's JSON method goes
+// through, so reports stay diffable across runs.
+func ToJSON(v interface{}) (string, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("report: encoding JSON: %w", err)
+	}
+	return string(b) + "\n", nil
+}
+
+// JSON encodes the table with its title, headers, and rows.
+func (t Table) JSON() (string, error) { return ToJSON(t) }
+
+// JSON encodes the figure with its axes and labeled series.
+func (f Figure) JSON() (string, error) { return ToJSON(f) }
+
+// Text is a plain text artifact (e.g. a rendered composition tree) wrapped so
+// it can travel through Artifact-typed interfaces alongside tables and
+// figures.
+type Text string
+
+// Render returns the text unchanged.
+func (t Text) Render() string { return string(t) }
+
+// JSON encodes the text as {"text": ...}.
+func (t Text) JSON() (string, error) {
+	return ToJSON(struct {
+		Text string `json:"text"`
+	}{Text: string(t)})
+}

@@ -12,9 +12,9 @@ import (
 
 // Table is a titled text table.
 type Table struct {
-	Title   string
-	Headers []string
-	Rows    [][]string
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
 }
 
 // AddRow appends a row, converting every cell with fmt.Sprint.
@@ -102,23 +102,23 @@ func writeCSVRow(b *strings.Builder, cells []string) {
 
 // Point is one (x, y) sample with an optional confidence half-width.
 type Point struct {
-	X         float64
-	Y         float64
-	HalfWidth float64
+	X         float64 `json:"x"`
+	Y         float64 `json:"y"`
+	HalfWidth float64 `json:"half_width,omitempty"`
 }
 
 // Series is one labeled curve of a figure.
 type Series struct {
-	Name   string
-	Points []Point
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
 }
 
 // Figure is a set of series sharing axes, mirroring one paper figure.
 type Figure struct {
-	Title  string
-	XLabel string
-	YLabel string
-	Series []Series
+	Title  string   `json:"title"`
+	XLabel string   `json:"x_label"`
+	YLabel string   `json:"y_label"`
+	Series []Series `json:"series"`
 }
 
 // AddPoint appends a point to the named series, creating it if needed.

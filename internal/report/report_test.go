@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -67,5 +68,83 @@ func TestFigureRenderMissingCells(t *testing.T) {
 	// Both x values appear even though each series has only one of them.
 	if !strings.Contains(out, "1") || !strings.Contains(out, "2") {
 		t.Errorf("figure with gaps rendered incorrectly:\n%s", out)
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	table := Table{Title: "Demo", Headers: []string{"Name", "Value"}}
+	table.AddRow("availability", 0.972)
+	out, err := table.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("table JSON invalid: %v\n%s", err, out)
+	}
+	if doc.Title != "Demo" || len(doc.Headers) != 2 || len(doc.Rows) != 1 {
+		t.Errorf("decoded table = %+v", doc)
+	}
+	if doc.Rows[0][0] != "availability" {
+		t.Errorf("row = %v", doc.Rows[0])
+	}
+}
+
+func TestFigureJSON(t *testing.T) {
+	fig := Figure{Title: "F", XLabel: "x", YLabel: "y"}
+	fig.AddPoint("s1", Point{X: 1, Y: 0.9, HalfWidth: 0.01})
+	fig.AddPoint("s1", Point{X: 2, Y: 0.8})
+	out, err := fig.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title  string `json:"title"`
+		XLabel string `json:"x_label"`
+		Series []struct {
+			Name   string `json:"name"`
+			Points []struct {
+				X         float64 `json:"x"`
+				Y         float64 `json:"y"`
+				HalfWidth float64 `json:"half_width"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("figure JSON invalid: %v\n%s", err, out)
+	}
+	if doc.XLabel != "x" || len(doc.Series) != 1 || len(doc.Series[0].Points) != 2 {
+		t.Errorf("decoded figure = %+v", doc)
+	}
+	if doc.Series[0].Points[0].HalfWidth != 0.01 {
+		t.Errorf("half width lost: %+v", doc.Series[0].Points[0])
+	}
+	// Zero half widths are omitted from the encoding.
+	if strings.Contains(out, `"half_width": 0,`) {
+		t.Errorf("zero half width encoded:\n%s", out)
+	}
+}
+
+func TestTextArtifact(t *testing.T) {
+	var a Artifact = Text("hello\nworld")
+	if a.Render() != "hello\nworld" {
+		t.Errorf("Render = %q", a.Render())
+	}
+	out, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Text string `json:"text"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("text JSON invalid: %v", err)
+	}
+	if doc.Text != "hello\nworld" {
+		t.Errorf("decoded text = %q", doc.Text)
 	}
 }

@@ -521,6 +521,140 @@ func TestRunReplicationsValidation(t *testing.T) {
 	}
 }
 
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{}).Validate(); err != nil {
+		t.Errorf("zero options (all defaults) rejected: %v", err)
+	}
+	valid := Options{Mission: 100, Replications: 4, Confidence: 0.9, Seed: 7, Parallelism: 2}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+	invalid := map[string]Options{
+		"negative mission":     {Mission: -1},
+		"NaN mission":          {Mission: math.NaN()},
+		"infinite mission":     {Mission: math.Inf(1)},
+		"one replication":      {Replications: 1},
+		"negative reps":        {Replications: -4},
+		"confidence 1":         {Confidence: 1},
+		"confidence above 1":   {Confidence: 1.5},
+		"NaN confidence":       {Confidence: math.NaN()},
+		"negative confidence":  {Confidence: -0.5},
+		"negative parallelism": {Parallelism: -1},
+	}
+	m, _ := buildFailRepair(t, 100, 10)
+	for name, opts := range invalid {
+		if err := opts.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, opts)
+		}
+		if _, err := RunReplications(m, nil, opts); err == nil {
+			t.Errorf("%s: RunReplications accepted %+v", name, opts)
+		}
+	}
+}
+
+func TestOptionsWithDefaults(t *testing.T) {
+	def := (Options{}).WithDefaults()
+	if def.Mission != 8760 || def.Replications != 100 || def.Confidence != 0.95 || def.Seed != 1 || def.Parallelism < 1 {
+		t.Errorf("unexpected defaults: %+v", def)
+	}
+	// Explicit values survive untouched.
+	set := Options{Mission: 10, Replications: 3, Confidence: 0.8, Seed: 42, Parallelism: 2}
+	if got := set.WithDefaults(); got != set {
+		t.Errorf("WithDefaults changed explicit options: %+v", got)
+	}
+}
+
+func TestSimulatorResetReproducesRun(t *testing.T) {
+	m, up := buildFailRepair(t, 50, 5)
+	rewards := []RewardVariable{UpFraction("avail", func(mr MarkingReader) bool { return mr.Tokens(up) == 1 })}
+	const seed = 91
+	sim, err := NewSimulator(m, rewards, rng.NewStream(seed, "first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := sim.Run(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resetting onto a stream with the same seed must replay the replication
+	// bit-for-bit: Reset swaps only the stream, so any residue would be a bug.
+	if err := sim.Reset(rng.NewStream(seed, "again")); err != nil {
+		t.Fatal(err)
+	}
+	again, err := sim.Run(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Rewards["avail"] != again.Rewards["avail"] || first.Events != again.Events {
+		t.Errorf("Reset did not reproduce the run: %+v vs %+v", first, again)
+	}
+	// And it must match a freshly constructed simulator with the same seed.
+	fresh, err := NewSimulator(m, rewards, rng.NewStream(seed, "fresh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fresh.Run(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rewards["avail"] != first.Rewards["avail"] {
+		t.Errorf("Reset run diverged from fresh simulator: %v vs %v", res.Rewards["avail"], first.Rewards["avail"])
+	}
+	if err := sim.Reset(nil); err == nil {
+		t.Error("nil stream accepted by Reset")
+	}
+}
+
+func TestReplicationSeedsContract(t *testing.T) {
+	opts := Options{Mission: 1000, Replications: 8, Seed: 13}
+	seeds := ReplicationSeeds(opts)
+	if len(seeds) != 8 {
+		t.Fatalf("seeds = %d, want 8", len(seeds))
+	}
+	if got := ReplicationSeeds(opts); !equalSeeds(got, seeds) {
+		t.Error("ReplicationSeeds not deterministic")
+	}
+	// Running each replication standalone with the published seeds and
+	// folding the results in index order must reproduce RunReplications — the
+	// contract sweep engines rely on.
+	m, up := buildFailRepair(t, 50, 5)
+	rewards := []RewardVariable{UpFraction("avail", func(mr MarkingReader) bool { return mr.Tokens(up) == 1 })}
+	study, err := RunReplications(m, rewards, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := NewStudyResult(rewards, opts.WithDefaults())
+	for rep, seed := range seeds {
+		sim, err := NewSimulator(m, rewards, ReplicationStream(seed, rep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(opts.Mission)
+		if err != nil {
+			t.Fatal(err)
+		}
+		manual.Add(res)
+	}
+	if got, want := manual.Summaries["avail"].Mean(), study.Mean("avail"); got != want {
+		t.Errorf("manual reduction mean %v != RunReplications %v", got, want)
+	}
+	if manual.TotalEvents != study.TotalEvents {
+		t.Errorf("manual events %d != study %d", manual.TotalEvents, study.TotalEvents)
+	}
+}
+
+func equalSeeds(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestRunReplicationsDeterministicAcrossParallelism(t *testing.T) {
 	m, up := buildFailRepair(t, 50, 5)
 	rewards := []RewardVariable{UpFraction("avail", func(mr MarkingReader) bool { return mr.Tokens(up) == 1 })}

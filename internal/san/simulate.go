@@ -144,6 +144,20 @@ func NewSimulator(model *Model, rewards []RewardVariable, stream *rng.Stream) (*
 	return s, nil
 }
 
+// Reset prepares the simulator to run another independent replication
+// drawing randomness from stream. All per-run state lives in the run itself,
+// so Reset only swaps the random stream; the dependency and impulse indexes —
+// which depend solely on the immutable model and reward variables — are kept,
+// making Reset+Run much cheaper than constructing a new Simulator for every
+// replication of a large composed model.
+func (s *Simulator) Reset(stream *rng.Stream) error {
+	if stream == nil {
+		return errors.New("san: nil random stream")
+	}
+	s.stream = stream
+	return nil
+}
+
 // buildImpulseIndex resolves the name-keyed impulse maps of every reward
 // variable to activity indices once, so completions do not perform string
 // map lookups.
@@ -543,22 +557,55 @@ func (s *Simulator) reconcile(st *runState) {
 // ---------------------------------------------------------------------------
 
 // Options configures a replicated terminating simulation study.
+//
+// The zero value of every field means "use the default"; any other value is
+// taken literally and must be sensible — Validate rejects nonsense (negative
+// mission times, one replication, confidence levels at or above 1) instead of
+// silently remapping it.
 type Options struct {
-	// Mission is the length of each replication in hours (default 8760, one
-	// year).
+	// Mission is the length of each replication in hours. Zero means the
+	// default of 8760 (one year).
 	Mission float64
-	// Replications is the number of independent replications (default 100).
+	// Replications is the number of independent replications. Zero means the
+	// default of 100; a study needs at least 2.
 	Replications int
-	// Confidence is the confidence level for reported intervals
-	// (default 0.95, matching the paper).
+	// Confidence is the confidence level for reported intervals, in (0, 1).
+	// Zero means the default of 0.95, matching the paper.
 	Confidence float64
-	// Seed seeds the master random stream (default 1).
+	// Seed seeds the master random stream. Zero means the default seed 1, so
+	// that the zero Options value is fully specified; pass any nonzero seed
+	// for a different reproducible study.
 	Seed uint64
-	// Parallelism is the number of worker goroutines (default GOMAXPROCS).
+	// Parallelism is the number of worker goroutines. Zero means the default
+	// of GOMAXPROCS.
 	Parallelism int
 }
 
-func (o Options) withDefaults() Options {
+// Validate rejects option values that are neither a zero "use the default"
+// marker nor a usable setting. RunReplications (and the sweep engine built on
+// it) call Validate before applying defaults, so a negative mission or a
+// 99.9% confidence typo fails loudly instead of producing misbehaving
+// studies.
+func (o Options) Validate() error {
+	if o.Mission < 0 || math.IsNaN(o.Mission) || math.IsInf(o.Mission, 0) {
+		return fmt.Errorf("san: invalid mission time %v (zero means the one-year default)", o.Mission)
+	}
+	if o.Replications < 0 || o.Replications == 1 {
+		return fmt.Errorf("san: invalid replication count %d: a study needs at least 2 (zero means the default of 100)", o.Replications)
+	}
+	if o.Confidence < 0 || o.Confidence >= 1 || math.IsNaN(o.Confidence) {
+		return fmt.Errorf("san: confidence %v outside (0,1) (zero means the default 0.95)", o.Confidence)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("san: negative parallelism %d (zero means GOMAXPROCS)", o.Parallelism)
+	}
+	return nil
+}
+
+// WithDefaults returns a copy of the options with every zero field replaced
+// by its documented default. It does not validate; callers that accept
+// user-supplied options should call Validate first.
+func (o Options) WithDefaults() Options {
 	if o.Mission == 0 {
 		o.Mission = 8760
 	}
@@ -588,6 +635,32 @@ type StudyResult struct {
 	TotalEvents uint64
 }
 
+// NewStudyResult returns an empty study with one summary per reward variable
+// and the given (effective) options. Replication results are folded in with
+// Add; callers that run replications themselves (the sweep engine) use this
+// together with ReplicationSeeds so their reductions are bit-identical to
+// RunReplications.
+func NewStudyResult(rewards []RewardVariable, opts Options) *StudyResult {
+	r := &StudyResult{Summaries: make(map[string]*stats.Summary, len(rewards)), Options: opts}
+	for _, rv := range rewards {
+		r.Summaries[rv.Name] = stats.NewSummary()
+	}
+	return r
+}
+
+// Add folds one replication result into the study. Welford accumulation in
+// stats.Summary is order-sensitive in floating point, so callers must Add
+// results in replication-index order to keep studies bit-identical across
+// Parallelism settings.
+func (r *StudyResult) Add(res Result) {
+	r.TotalEvents += res.Events
+	for name, value := range res.Rewards {
+		if s, ok := r.Summaries[name]; ok {
+			s.Add(value)
+		}
+	}
+}
+
 // Interval returns the confidence interval of the named reward at the
 // study's confidence level.
 func (r *StudyResult) Interval(reward string) (stats.Interval, error) {
@@ -608,19 +681,51 @@ func (r *StudyResult) Mean(reward string) float64 {
 	return s.Mean()
 }
 
+// studySeeds derives the validation stream and the per-replication seeds of a
+// study from opts.Seed. The derivation is part of the reproducibility
+// contract: seeds are drawn from a master stream in replication order (after
+// one reserved split for the validation simulator), so results do not depend
+// on which worker picks a job up. opts must already have defaults applied.
+func studySeeds(opts Options) (*rng.Stream, []uint64) {
+	master := rng.NewStream(opts.Seed, "study-master")
+	validate := master.Split("validate")
+	seeds := make([]uint64, opts.Replications)
+	for i := range seeds {
+		seeds[i] = master.Uint64()
+	}
+	return validate, seeds
+}
+
+// ReplicationSeeds returns the per-replication seeds RunReplications derives
+// from opts.Seed (defaults applied). Sweep engines that schedule the
+// replications of several studies over one shared worker pool use it to make
+// each study bit-identical to a standalone RunReplications call with the same
+// options.
+func ReplicationSeeds(opts Options) []uint64 {
+	_, seeds := studySeeds(opts.WithDefaults())
+	return seeds
+}
+
+// ReplicationStream returns the random stream replication rep of a study is
+// run with, given its derived seed. It is the other half of the contract
+// exposed by ReplicationSeeds.
+func ReplicationStream(seed uint64, rep int) *rng.Stream {
+	return rng.NewStream(seed, fmt.Sprintf("rep-%d", rep))
+}
+
 // RunReplications runs opts.Replications independent terminating simulations
 // of the model and aggregates each reward variable across replications.
 // Replications are distributed over opts.Parallelism goroutines; each worker
-// owns a private Simulator and random stream, so the model itself is shared
-// read-only.
+// owns a private Simulator (constructed once and Reset per replication) and a
+// per-replication random stream, so the model itself is shared read-only.
 func RunReplications(model *Model, rewards []RewardVariable, opts Options) (*StudyResult, error) {
-	opts = opts.withDefaults()
-	if opts.Replications < 2 {
-		return nil, fmt.Errorf("san: need at least 2 replications, got %d", opts.Replications)
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
+	opts = opts.WithDefaults()
 	// Validate once up front so workers cannot fail on validation.
-	master := rng.NewStream(opts.Seed, "study-master")
-	if _, err := NewSimulator(model, rewards, master.Split("validate")); err != nil {
+	validateStream, seeds := studySeeds(opts)
+	if _, err := NewSimulator(model, rewards, validateStream); err != nil {
 		return nil, err
 	}
 
@@ -636,10 +741,8 @@ func RunReplications(model *Model, rewards []RewardVariable, opts Options) (*Stu
 	// Outcomes are indexed by replication so the reduction below is in
 	// replication order regardless of worker completion order.
 	outcomes := make([]repOutcome, opts.Replications)
-	for rep := 0; rep < opts.Replications; rep++ {
-		// Derive one seed per replication from the master stream so results
-		// do not depend on the worker that picks the job up.
-		jobs <- repJob{rep: rep, seed: master.Uint64()}
+	for rep, seed := range seeds {
+		jobs <- repJob{rep: rep, seed: seed}
 	}
 	close(jobs)
 
@@ -652,10 +755,21 @@ func RunReplications(model *Model, rewards []RewardVariable, opts Options) (*Stu
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One simulator per worker: the dependency and impulse indexes
+			// depend only on the immutable model and rewards, so they are
+			// derived once and the simulator is Reset onto each replication's
+			// private stream.
+			var sim *Simulator
 			for job := range jobs {
-				stream := rng.NewStream(job.seed, fmt.Sprintf("rep-%d", job.rep))
-				sim, err := NewSimulator(model, rewards, stream)
-				if err != nil {
+				stream := ReplicationStream(job.seed, job.rep)
+				if sim == nil {
+					var err error
+					sim, err = NewSimulator(model, rewards, stream)
+					if err != nil {
+						outcomes[job.rep] = repOutcome{err: err}
+						continue
+					}
+				} else if err := sim.Reset(stream); err != nil {
 					outcomes[job.rep] = repOutcome{err: err}
 					continue
 				}
@@ -670,18 +784,12 @@ func RunReplications(model *Model, rewards []RewardVariable, opts Options) (*Stu
 	// stats.Summary is order-sensitive in floating point, so draining in
 	// completion order would make same-seed studies differ across
 	// Parallelism settings.
-	result := &StudyResult{Summaries: make(map[string]*stats.Summary, len(rewards)), Options: opts}
-	for _, rv := range rewards {
-		result.Summaries[rv.Name] = stats.NewSummary()
-	}
+	result := NewStudyResult(rewards, opts)
 	for _, out := range outcomes {
 		if out.err != nil {
 			return nil, out.err
 		}
-		result.TotalEvents += out.res.Events
-		for name, value := range out.res.Rewards {
-			result.Summaries[name].Add(value)
-		}
+		result.Add(out.res)
 	}
 	return result, nil
 }

@@ -1,0 +1,348 @@
+// Package sweep runs multi-configuration simulation studies — the paper's
+// Figure 4/5 scaling sweeps and the design-comparison tables — behind one
+// shared worker pool.
+//
+// Evaluating a sweep point by point (a fresh abe.Evaluate per configuration)
+// pays three avoidable costs: a worker pool is spun up and drained per
+// configuration (so every configuration's slowest replication idles the whole
+// pool), the composed model is rebuilt per evaluation, and a Simulator —
+// whose dependency and impulse indexes are O(model) to derive — used to be
+// rebuilt per replication. The sweep engine instead schedules the flat list
+// of (configuration, replication) jobs over a single pool: models are built
+// once per configuration and shared read-only, each worker keeps one
+// Simulator per configuration and Resets it onto every replication's private
+// stream, and slow large-scale configurations overlap with fast small ones.
+//
+// Determinism contract: seeds are derived per (configuration index,
+// replication index) and outcomes are reduced in (configuration, replication)
+// order, so a sweep is bit-identical across Parallelism settings, and every
+// point is bit-identical to a standalone abe.Evaluate with the point's
+// derived seed (see PointSeeds) — the same contract san.RunReplications
+// provides for single studies.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/abe"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/san"
+	"repro/internal/stats"
+)
+
+// ErrNoPoints is returned by Run when the sweep is empty.
+var ErrNoPoints = errors.New("sweep: no points to evaluate")
+
+// Point is one configuration of a sweep.
+type Point struct {
+	// Label names the point in results and reports; empty means Config.Name.
+	Label string
+	// Config is the composed-model configuration evaluated at this point.
+	Config abe.Config
+	// Seed, when nonzero, pins the point's study seed explicitly — the
+	// common-random-numbers technique: giving every design alternative the
+	// same seed makes their comparison sharper than independent draws. Zero
+	// (the default) derives an independent seed from the sweep seed and the
+	// point index (see PointSeeds).
+	Seed uint64
+}
+
+// label returns the effective label of the point.
+func (p Point) label() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return p.Config.Name
+}
+
+// PointResult is the outcome of one sweep point.
+type PointResult struct {
+	// Label is the effective point label.
+	Label string
+	// Seed is the study seed the point was evaluated with; a standalone
+	// abe.Evaluate with this seed (and the sweep's options) reproduces
+	// Measures bit-identically.
+	Seed uint64
+	// Measures are the derived measures of the point's configuration.
+	Measures abe.Measures
+}
+
+// Result is the outcome of a sweep.
+type Result struct {
+	// Points holds one result per input point, in input order.
+	Points []PointResult
+	// Options echoes the effective sweep-level study options.
+	Options san.Options
+	// TotalEvents is the number of activity completions across every
+	// replication of every point.
+	TotalEvents uint64
+}
+
+// PointSeeds returns the n per-point study seeds Run derives from the sweep
+// seed, in point order. Tests and callers use it to reproduce a single sweep
+// point with a standalone abe.Evaluate.
+func PointSeeds(seed uint64, n int) []uint64 {
+	master := rng.NewStream(seed, "sweep-master")
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = master.Uint64()
+	}
+	return seeds
+}
+
+// pointPlan is the per-point schedule plus the lazily built shared model.
+type pointPlan struct {
+	opts     san.Options // effective study options (Seed = the point's seed)
+	repSeeds []uint64
+
+	// The composed model is built at most once, by whichever worker first
+	// draws a job for the point, and is then shared read-only; each worker
+	// still owns its private Simulator.
+	buildOnce sync.Once
+	model     *san.Model
+	rewards   []san.RewardVariable
+	buildErr  error
+}
+
+// build composes the model for cfg once.
+func (pp *pointPlan) build(cfg abe.Config) {
+	pp.buildOnce.Do(func() {
+		model := san.NewModel(cfg.Name)
+		mp, err := abe.Build(model, cfg)
+		if err != nil {
+			pp.buildErr = err
+			return
+		}
+		pp.model = model
+		pp.rewards = mp.Rewards()
+	})
+}
+
+// Run evaluates every point of the sweep under the given study options
+// (opts.Seed is the sweep-level master seed; opts.Parallelism sizes the
+// shared worker pool). It returns per-point measures in input order.
+func Run(points []Point, opts san.Options) (*Result, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.WithDefaults()
+
+	// Validate configurations eagerly so a typo in point 7 fails before any
+	// simulation effort is spent on points 0-6.
+	for i, pt := range points {
+		if err := pt.Config.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: point %d (%s): %w", i, pt.label(), err)
+		}
+	}
+
+	derived := PointSeeds(opts.Seed, len(points))
+	plans := make([]*pointPlan, len(points))
+	seeds := make([]uint64, len(points))
+	for i, pt := range points {
+		seeds[i] = derived[i]
+		if pt.Seed != 0 {
+			seeds[i] = pt.Seed
+		}
+		ptOpts := opts
+		ptOpts.Seed = seeds[i]
+		ptOpts = ptOpts.WithDefaults()
+		plans[i] = &pointPlan{opts: ptOpts, repSeeds: san.ReplicationSeeds(ptOpts)}
+	}
+
+	// One flat job list over the whole sweep, enqueued configuration-major.
+	// The channel is FIFO, so each worker draws a nondecreasing sequence of
+	// point indexes — a single-slot simulator cache per worker never
+	// revisits an evicted point.
+	type sweepJob struct {
+		point int
+		rep   int
+		seed  uint64
+	}
+	type repOutcome struct {
+		res san.Result
+		err error
+	}
+	total := 0
+	outcomes := make([][]repOutcome, len(points))
+	for i, pp := range plans {
+		outcomes[i] = make([]repOutcome, pp.opts.Replications)
+		total += pp.opts.Replications
+	}
+	jobs := make(chan sweepJob, total)
+	for i, pp := range plans {
+		for rep, seed := range pp.repSeeds {
+			jobs <- sweepJob{point: i, rep: rep, seed: seed}
+		}
+	}
+	close(jobs)
+
+	workers := opts.Parallelism
+	if workers > total {
+		workers = total
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cachedPoint := -1
+			var sim *san.Simulator
+			for job := range jobs {
+				pp := plans[job.point]
+				pp.build(points[job.point].Config)
+				if pp.buildErr != nil {
+					outcomes[job.point][job.rep] = repOutcome{err: pp.buildErr}
+					continue
+				}
+				stream := san.ReplicationStream(job.seed, job.rep)
+				if cachedPoint != job.point {
+					var err error
+					sim, err = san.NewSimulator(pp.model, pp.rewards, stream)
+					if err != nil {
+						outcomes[job.point][job.rep] = repOutcome{err: err}
+						continue
+					}
+					cachedPoint = job.point
+				} else if err := sim.Reset(stream); err != nil {
+					outcomes[job.point][job.rep] = repOutcome{err: err}
+					continue
+				}
+				res, err := sim.Run(pp.opts.Mission)
+				outcomes[job.point][job.rep] = repOutcome{res: res, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Reduce in (point, replication) order — the same order-sensitivity
+	// argument as san.RunReplications, extended to the whole sweep.
+	result := &Result{Options: opts, Points: make([]PointResult, 0, len(points))}
+	for i, pt := range points {
+		pp := plans[i]
+		if pp.buildErr != nil {
+			return nil, fmt.Errorf("sweep: point %d (%s): %w", i, pt.label(), pp.buildErr)
+		}
+		study := san.NewStudyResult(pp.rewards, pp.opts)
+		for rep, out := range outcomes[i] {
+			if out.err != nil {
+				return nil, fmt.Errorf("sweep: point %d (%s) replication %d: %w", i, pt.label(), rep, out.err)
+			}
+			study.Add(out.res)
+		}
+		m, err := abe.MeasuresFromStudy(pt.Config, study)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: point %d (%s): %w", i, pt.label(), err)
+		}
+		result.TotalEvents += study.TotalEvents
+		result.Points = append(result.Points, PointResult{Label: pt.label(), Seed: seeds[i], Measures: m})
+	}
+	return result, nil
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable report
+// ---------------------------------------------------------------------------
+
+// Report is the machine-readable form of a sweep result (see Result.Report).
+// The schema is documented in ROADMAP.md; it deliberately excludes execution
+// details such as Parallelism so reports are byte-identical however the sweep
+// was scheduled.
+type Report struct {
+	MissionHours float64       `json:"mission_hours"`
+	Replications int           `json:"replications"`
+	Confidence   float64       `json:"confidence"`
+	Seed         uint64        `json:"seed"`
+	TotalEvents  uint64        `json:"total_events"`
+	Points       []ReportPoint `json:"points"`
+}
+
+// ReportPoint is one sweep point of a Report.
+type ReportPoint struct {
+	Label                    string                    `json:"label"`
+	Seed                     uint64                    `json:"seed"`
+	OSSPairs                 int                       `json:"oss_pairs"`
+	TotalDisks               int                       `json:"total_disks"`
+	StorageAvailability      float64                   `json:"storage_availability"`
+	CFSAvailability          float64                   `json:"cfs_availability"`
+	ClusterUtility           float64                   `json:"cluster_utility"`
+	DiskReplacementsPerWeek  float64                   `json:"disk_replacements_per_week"`
+	LostJobsTransientPerYear float64                   `json:"lost_jobs_transient_per_year"`
+	LostJobsCFSPerYear       float64                   `json:"lost_jobs_cfs_per_year"`
+	Intervals                map[string]ReportInterval `json:"intervals"`
+}
+
+// ReportInterval is a confidence interval in a Report, in the same units as
+// the headline field it accompanies.
+type ReportInterval struct {
+	Mean       float64 `json:"mean"`
+	HalfWidth  float64 `json:"half_width"`
+	Confidence float64 `json:"confidence"`
+	N          int     `json:"n"`
+}
+
+func reportInterval(ci stats.Interval) ReportInterval {
+	return ReportInterval{Mean: ci.Mean, HalfWidth: ci.HalfWidth, Confidence: ci.Confidence, N: ci.N}
+}
+
+// Report returns the machine-readable form of the result.
+func (r *Result) Report() Report {
+	rep := Report{
+		MissionHours: r.Options.Mission,
+		Replications: r.Options.Replications,
+		Confidence:   r.Options.Confidence,
+		Seed:         r.Options.Seed,
+		TotalEvents:  r.TotalEvents,
+		Points:       make([]ReportPoint, 0, len(r.Points)),
+	}
+	for _, pt := range r.Points {
+		m := pt.Measures
+		p := ReportPoint{
+			Label:                    pt.Label,
+			Seed:                     pt.Seed,
+			OSSPairs:                 m.Config.TotalOSSPairs(),
+			TotalDisks:               m.Config.Storage.TotalDisks(),
+			StorageAvailability:      m.StorageAvailability,
+			CFSAvailability:          m.CFSAvailability,
+			ClusterUtility:           m.ClusterUtility,
+			DiskReplacementsPerWeek:  m.DiskReplacementsPerWeek,
+			LostJobsTransientPerYear: m.LostJobsTransientPerYear,
+			LostJobsCFSPerYear:       m.LostJobsCFSPerYear,
+			Intervals:                make(map[string]ReportInterval, len(m.Intervals)),
+		}
+		for name, ci := range m.Intervals {
+			p.Intervals[name] = reportInterval(ci)
+		}
+		rep.Points = append(rep.Points, p)
+	}
+	return rep
+}
+
+// JSON returns the sweep result as indented JSON (map keys sorted, execution
+// details excluded), suitable for diffing and downstream plotting.
+func (r *Result) JSON() (string, error) { return report.ToJSON(r.Report()) }
+
+// Table renders the sweep as a design-comparison style text table.
+func (r *Result) Table(title string) report.Table {
+	t := report.Table{
+		Title: title,
+		Headers: []string{
+			"Point", "Storage availability", "CFS availability", "Cluster utility", "Disks replaced/week",
+		},
+	}
+	for _, pt := range r.Points {
+		m := pt.Measures
+		t.AddRow(pt.Label,
+			fmt.Sprintf("%.5f", m.StorageAvailability),
+			fmt.Sprintf("%.4f", m.CFSAvailability),
+			fmt.Sprintf("%.4f", m.ClusterUtility),
+			fmt.Sprintf("%.2f", m.DiskReplacementsPerWeek),
+		)
+	}
+	return t
+}

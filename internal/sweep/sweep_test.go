@@ -1,0 +1,222 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/abe"
+	"repro/internal/san"
+)
+
+// testOpts keeps the simulation-backed tests cheap: short missions, few
+// replications, small ABE-scale models.
+func testOpts() san.Options {
+	return san.Options{Mission: 1000, Replications: 4, Seed: 33, Parallelism: 4}
+}
+
+func testPoints() []Point {
+	return []Point{
+		{Config: abe.ABE()},
+		{Label: "ABE +spare OSS", Config: abe.ABE().WithSpareOSS(true)},
+		{Config: abe.ABE().ScaledBy(2)},
+	}
+}
+
+func TestSweepBitIdenticalAcrossParallelism(t *testing.T) {
+	opts := testOpts()
+	opts.Parallelism = 1
+	seq, err := Run(testPoints(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallelism = 4
+	par, err := Run(testPoints(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Points, par.Points) {
+		t.Errorf("sweep results differ across Parallelism:\n1: %+v\n4: %+v", seq.Points, par.Points)
+	}
+	if seq.TotalEvents != par.TotalEvents {
+		t.Errorf("event counts differ across Parallelism: %d vs %d", seq.TotalEvents, par.TotalEvents)
+	}
+	// The JSON reports (which exclude execution details) must be
+	// byte-identical too.
+	seqJSON, err := seq.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parJSON, err := par.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqJSON != parJSON {
+		t.Error("JSON reports differ across Parallelism")
+	}
+}
+
+func TestSweepPointsMatchStandaloneEvaluate(t *testing.T) {
+	// Every sweep point must be bit-identical to a standalone abe.Evaluate
+	// with the point's derived seed — the contract that makes sweep results
+	// auditable one configuration at a time.
+	opts := testOpts()
+	points := testPoints()
+	res, err := Run(points, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := PointSeeds(opts.Seed, len(points))
+	for i, pt := range points {
+		if res.Points[i].Seed != seeds[i] {
+			t.Errorf("point %d seed = %d, want derived %d", i, res.Points[i].Seed, seeds[i])
+		}
+		standalone := opts
+		standalone.Seed = seeds[i]
+		want, err := abe.Evaluate(pt.Config, standalone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Points[i].Measures, want) {
+			t.Errorf("point %d (%s) differs from standalone Evaluate:\nsweep:      %+v\nstandalone: %+v",
+				i, res.Points[i].Label, res.Points[i].Measures, want)
+		}
+	}
+}
+
+func TestSweepExplicitSeedPinsStudy(t *testing.T) {
+	// A nonzero Point.Seed overrides derivation — the common-random-numbers
+	// hook design comparisons use.
+	opts := testOpts()
+	const pinned = 777
+	res, err := Run([]Point{{Config: abe.ABE(), Seed: pinned}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points[0].Seed != pinned {
+		t.Fatalf("seed = %d, want pinned %d", res.Points[0].Seed, pinned)
+	}
+	standalone := opts
+	standalone.Seed = pinned
+	want, err := abe.Evaluate(abe.ABE(), standalone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Points[0].Measures, want) {
+		t.Error("pinned-seed point differs from standalone Evaluate with the same seed")
+	}
+}
+
+func TestSweepLabelsAndTable(t *testing.T) {
+	res, err := Run(testPoints(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points[0].Label != "ABE" {
+		t.Errorf("default label = %q, want the config name", res.Points[0].Label)
+	}
+	if res.Points[1].Label != "ABE +spare OSS" {
+		t.Errorf("explicit label = %q", res.Points[1].Label)
+	}
+	out := res.Table("Sweep").Render()
+	for _, want := range []string{"ABE +spare OSS", "Storage availability", "Disks replaced/week"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepJSONSchema(t *testing.T) {
+	res, err := Run(testPoints(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		MissionHours float64 `json:"mission_hours"`
+		Replications int     `json:"replications"`
+		Confidence   float64 `json:"confidence"`
+		Seed         uint64  `json:"seed"`
+		TotalEvents  uint64  `json:"total_events"`
+		Points       []struct {
+			Label               string  `json:"label"`
+			Seed                uint64  `json:"seed"`
+			TotalDisks          int     `json:"total_disks"`
+			CFSAvailability     float64 `json:"cfs_availability"`
+			StorageAvailability float64 `json:"storage_availability"`
+			Intervals           map[string]struct {
+				Mean      float64 `json:"mean"`
+				HalfWidth float64 `json:"half_width"`
+				N         int     `json:"n"`
+			} `json:"intervals"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(text), &doc); err != nil {
+		t.Fatalf("sweep report is not valid JSON: %v\n%s", err, text)
+	}
+	if doc.MissionHours != 1000 || doc.Replications != 4 || doc.Seed != 33 {
+		t.Errorf("report options wrong: %+v", doc)
+	}
+	if len(doc.Points) != 3 {
+		t.Fatalf("report points = %d, want 3", len(doc.Points))
+	}
+	if doc.Points[2].TotalDisks != 2*480 {
+		t.Errorf("scaled point disks = %d, want 960", doc.Points[2].TotalDisks)
+	}
+	for _, p := range doc.Points {
+		if p.CFSAvailability <= 0 || p.CFSAvailability > 1 {
+			t.Errorf("point %q CFS availability %v out of range", p.Label, p.CFSAvailability)
+		}
+		ci, ok := p.Intervals[abe.RewardCFSAvailability]
+		if !ok || ci.N != 4 {
+			t.Errorf("point %q missing CFS interval (or wrong n): %+v", p.Label, p.Intervals)
+		}
+	}
+	if doc.TotalEvents == 0 {
+		t.Error("report records no simulated events")
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	if _, err := Run(nil, testOpts()); !errors.Is(err, ErrNoPoints) {
+		t.Errorf("empty sweep error = %v, want ErrNoPoints", err)
+	}
+	// Invalid study options are rejected before any work.
+	bad := testOpts()
+	bad.Confidence = 1.5
+	if _, err := Run(testPoints(), bad); err == nil {
+		t.Error("invalid options accepted")
+	}
+	// An invalid configuration fails eagerly and names the point.
+	broken := []Point{{Config: abe.ABE()}, {Label: "broken", Config: abe.Config{}}}
+	_, err := Run(broken, testOpts())
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if !strings.Contains(err.Error(), "broken") || !strings.Contains(err.Error(), "point 1") {
+		t.Errorf("error %q does not locate the broken point", err)
+	}
+}
+
+func TestPointSeedsDeterministic(t *testing.T) {
+	a := PointSeeds(9, 5)
+	b := PointSeeds(9, 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("PointSeeds not deterministic")
+	}
+	seen := map[uint64]bool{}
+	for _, s := range a {
+		if seen[s] {
+			t.Errorf("duplicate point seed %d", s)
+		}
+		seen[s] = true
+	}
+	if c := PointSeeds(10, 5); reflect.DeepEqual(a, c) {
+		t.Error("different sweep seeds produced identical point seeds")
+	}
+}
