@@ -11,9 +11,10 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages with concurrent replication runners, the sharded
-# sweep engine, and the snapshot/clone machinery of the rare-event engine.
+# sweep engine, the snapshot/clone machinery of the rare-event engine, and
+# the calibration pipeline feeding the sweep (paper_full).
 race:
-	$(GO) test -race ./internal/san/... ./internal/sweep/... ./internal/rareevent/...
+	$(GO) test -race ./internal/san/... ./internal/sweep/... ./internal/rareevent/... ./internal/calibrate/...
 
 vet:
 	$(GO) vet ./...
@@ -32,7 +33,13 @@ examples:
 	$(GO) run ./examples/raid_tradeoff
 	$(GO) run ./examples/petascale_scaling
 	$(GO) run ./examples/log_analysis
+	$(GO) run ./examples/calibrated_abe
 	$(GO) run ./examples/rare_event
+
+# Smoke-run the single-shot paper reproduction (tiny replication counts) and
+# check it emits one valid JSON document.
+paper-smoke:
+	$(GO) run ./cmd/abesim -experiment paper_full -quick -replications 4 -mission 2190 -json > /dev/null
 
 clean:
 	$(GO) clean ./...

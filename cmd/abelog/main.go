@@ -1,13 +1,18 @@
 // Command abelog generates the calibrated synthetic ABE failure logs and
 // runs the paper's log-analysis pipeline over them (Tables 1-4), or analyzes
-// an existing log file in the same format.
+// an existing log file in the same format. With -calibrate it runs the full
+// internal/calibrate pipeline and prints every derived model parameter with
+// its value, source table, and derivation (the provenance record behind
+// abesim -experiment paper_full); add -json for the machine-readable
+// calibration report.
 //
 // Usage:
 //
 //	abelog -table 1                  # generate synthetic logs, print Table 1
 //	abelog -table 4 -disks 480
+//	abelog -calibrate [-json]        # derived model parameters with provenance
 //	abelog -write-san san.log -write-compute compute.log
-//	abelog -analyze san.log -table 1 # analyze an existing log file
+//	abelog -analyze san.log          # analyze an existing log file
 package main
 
 import (
@@ -16,9 +21,11 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/calibrate"
 	"repro/internal/experiments"
 	"repro/internal/loganalysis"
 	"repro/internal/loggen"
+	"repro/internal/report"
 )
 
 func main() {
@@ -29,11 +36,27 @@ func main() {
 		table        = flag.Int("table", 0, "table to reproduce (1-4); 0 prints summary rates")
 		seed         = flag.Uint64("seed", 0, "log generation seed (0 = calibrated default)")
 		disks        = flag.Int("disks", 480, "disk population for the survival analysis")
+		calibrateOut = flag.Bool("calibrate", false, "run the full calibration pipeline and print derived parameters with provenance")
+		jsonOut      = flag.Bool("json", false, "with -calibrate: emit the machine-readable calibration report")
 		writeSAN     = flag.String("write-san", "", "write the synthetic SAN log to this file")
 		writeCompute = flag.String("write-compute", "", "write the synthetic compute log to this file")
 		analyze      = flag.String("analyze", "", "analyze an existing log file instead of generating one")
 	)
 	flag.Parse()
+
+	// Reject contradictory flag combinations instead of silently picking one
+	// mode: -analyze works on a single log file (calibration needs the
+	// SAN/compute pair), -calibrate replaces the table output, and -json only
+	// shapes the calibration report.
+	if *analyze != "" && (*calibrateOut || *table != 0) {
+		log.Fatal("-analyze works on a single log file and cannot be combined with -calibrate or -table")
+	}
+	if *calibrateOut && *table != 0 {
+		log.Fatal("-calibrate and -table are mutually exclusive")
+	}
+	if *jsonOut && !*calibrateOut {
+		log.Fatal("-json is only supported with -calibrate")
+	}
 
 	if *analyze != "" {
 		analyzeFile(*analyze, *disks)
@@ -53,6 +76,24 @@ func main() {
 	}
 	if *writeCompute != "" {
 		writeLog(*writeCompute, logs.Compute)
+	}
+
+	if *calibrateOut {
+		cal, err := calibrate.Calibrate(logs, *disks)
+		if err != nil {
+			log.Fatalf("calibrating: %v", err)
+		}
+		if *jsonOut {
+			doc, err := report.ToJSON(cal.Report())
+			if err != nil {
+				log.Fatalf("encoding calibration report: %v", err)
+			}
+			fmt.Print(doc)
+			return
+		}
+		fmt.Println(cal.Table().Render())
+		fmt.Printf("calibrated configuration: %s (validated)\n", cal.Config.Name)
+		return
 	}
 
 	if *table >= 1 && *table <= 4 {

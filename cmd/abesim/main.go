@@ -16,9 +16,19 @@
 // valid JSON document (with -all, an object mapping experiment name to
 // report), so the output pipes straight into jq or a plotting script.
 //
+// The paper_full experiment closes the measured-data loop in one run:
+// generate the synthetic ABE logs, analyze them (Tables 1-4), calibrate the
+// stochastic model from the analysis via internal/calibrate (Table 5 with
+// per-parameter provenance), run the Figure 4/5 scaling sweep from the
+// *derived* configuration, and round-trip the calibration (regenerate logs
+// under the calibrated parameters, re-derive the rates). Its -json document
+// extends the sweep report schema with "calibration", "tables", and
+// "round_trip" sections and is bit-identical across -parallelism.
+//
 // Usage:
 //
-//	abesim -experiment figure4 [-replications 60] [-mission 8760] [-seed 1] [-quick] [-json]
+//	abesim -experiment figure4 [-replications 60] [-mission 8760] [-seed 1] [-quick] [-json] [-parallelism N]
+//	abesim -experiment paper_full -json
 //	abesim -experiment rare_event_dataloss -quick
 //	abesim -list
 //	abesim -all -quick
@@ -45,6 +55,7 @@ func main() {
 		replications = flag.Int("replications", 0, "replications per design point (0 = default)")
 		mission      = flag.Float64("mission", 0, "mission time per replication in hours (0 = one year)")
 		seed         = flag.Uint64("seed", 0, "random seed (0 = default)")
+		parallelism  = flag.Int("parallelism", 0, "simulation worker goroutines (0 = GOMAXPROCS; results are bit-identical across settings)")
 		quick        = flag.Bool("quick", false, "fewer replications and sweep points")
 		jsonOut      = flag.Bool("json", false, "emit machine-readable JSON instead of rendered text")
 	)
@@ -61,6 +72,7 @@ func main() {
 		Replications: *replications,
 		MissionHours: *mission,
 		Seed:         *seed,
+		Parallelism:  *parallelism,
 		Quick:        *quick,
 	}
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/abe"
+	"repro/internal/calibrate"
 	"repro/internal/loganalysis"
 	"repro/internal/loggen"
 	"repro/internal/report"
@@ -28,29 +29,18 @@ type DesignChoice struct {
 
 // CalibrateFromLogs applies the rates extracted from failure logs to a base
 // configuration, mirroring the paper's two-pronged approach: log analysis
-// feeds the stochastic model. The returned configuration uses the fitted
-// disk Weibull shape/MTBF and the observed job rate; the derived rates are
-// returned so callers can report them (Table 5's "obtained from log file
-// analysis" entries).
+// feeds the stochastic model. It is a thin veneer over calibrate.CalibrateWith
+// (which fits the disk Weibull, the empirical outage and repair durations,
+// and the workload rates, with per-parameter provenance); the derived rates
+// are returned so callers can report them (Table 5's "obtained from log file
+// analysis" entries). Callers that want the fitted distributions or the
+// provenance record should use package calibrate directly.
 func CalibrateFromLogs(logs *loggen.Logs, base abe.Config, diskPopulation int) (abe.Config, loganalysis.DerivedRates, error) {
-	rates, err := loganalysis.DeriveRates(logs, diskPopulation)
+	cal, err := calibrate.CalibrateWith(logs, diskPopulation, base)
 	if err != nil {
 		return abe.Config{}, loganalysis.DerivedRates{}, fmt.Errorf("core: calibration: %w", err)
 	}
-	cfg := base
-	if rates.DiskWeibullShape > 0 {
-		cfg.Storage.Disk.ShapeBeta = rates.DiskWeibullShape
-	}
-	if rates.DiskMTBFHours > 0 {
-		cfg.Storage.Disk.MTBFHours = rates.DiskMTBFHours
-	}
-	if rates.JobsPerHour > 0 {
-		cfg.Workload.JobsPerHour = rates.JobsPerHour
-	}
-	if err := cfg.Validate(); err != nil {
-		return abe.Config{}, loganalysis.DerivedRates{}, fmt.Errorf("core: calibrated configuration invalid: %w", err)
-	}
-	return cfg, rates, nil
+	return cal.Config, cal.Rates, nil
 }
 
 // CompareDesigns evaluates each design and returns a comparison table plus

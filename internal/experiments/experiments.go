@@ -30,6 +30,9 @@ type Options struct {
 	MissionHours float64
 	// Seed for reproducibility (default 1).
 	Seed uint64
+	// Parallelism is the number of worker goroutines for the simulation
+	// studies (0 = GOMAXPROCS). Results are bit-identical across settings.
+	Parallelism int
 	// Quick trades accuracy for speed (fewer replications, fewer sweep
 	// points); intended for benchmarks and CI.
 	Quick bool
@@ -58,6 +61,7 @@ func (o Options) sanOptions() san.Options {
 		Replications: o.Replications,
 		Confidence:   0.95,
 		Seed:         o.Seed,
+		Parallelism:  o.Parallelism,
 	}
 }
 
@@ -87,10 +91,21 @@ func Table1Outages(opts Options) (report.Table, error) {
 	if err != nil {
 		return report.Table{}, err
 	}
+	return table1FromLogs(logs)
+}
+
+// table1FromLogs builds Table 1 from an already-generated log set.
+func table1FromLogs(logs *loggen.Logs) (report.Table, error) {
 	rep, err := loganalysis.AnalyzeOutages(logs.SAN)
 	if err != nil {
 		return report.Table{}, err
 	}
+	return table1FromReport(rep), nil
+}
+
+// table1FromReport builds Table 1 from an already-run outage analysis, so
+// paper_full renders the exact analysis it calibrated from.
+func table1FromReport(rep loganalysis.OutageReport) report.Table {
 	t := report.Table{
 		Title:   "Table 1: User notification of outage of the Lustre-FS (synthetic ABE log)",
 		Headers: []string{"Cause of Failure", "Start time", "End time", "Hours"},
@@ -100,7 +115,7 @@ func Table1Outages(opts Options) (report.Table, error) {
 	}
 	t.AddRow("TOTAL", "", "", fmt.Sprintf("%.2f", rep.DowntimeHours))
 	t.AddRow("Availability", "", "", fmt.Sprintf("%.4f", rep.Availability))
-	return t, nil
+	return t
 }
 
 // Table2MountFailures reproduces Table 2: Lustre mount failures reported by
@@ -111,10 +126,20 @@ func Table2MountFailures(opts Options) (report.Table, error) {
 	if err != nil {
 		return report.Table{}, err
 	}
+	return table2FromLogs(logs)
+}
+
+// table2FromLogs builds Table 2 from an already-generated log set.
+func table2FromLogs(logs *loggen.Logs) (report.Table, error) {
 	days, err := loganalysis.AnalyzeMountFailures(logs.Compute)
 	if err != nil {
 		return report.Table{}, err
 	}
+	return table2FromDays(days), nil
+}
+
+// table2FromDays builds Table 2 from an already-run mount-failure analysis.
+func table2FromDays(days []loganalysis.MountFailureDay) report.Table {
 	t := report.Table{
 		Title:   "Table 2: Lustre mount failure notification by compute nodes (synthetic ABE log)",
 		Headers: []string{"Date", "Nodes reporting mount failure"},
@@ -122,7 +147,7 @@ func Table2MountFailures(opts Options) (report.Table, error) {
 	for _, d := range days {
 		t.AddRow(d.Date.Format("01/02/06"), d.Nodes)
 	}
-	return t, nil
+	return t
 }
 
 // Table3JobStats reproduces Table 3: job execution statistics.
@@ -132,10 +157,20 @@ func Table3JobStats(opts Options) (report.Table, error) {
 	if err != nil {
 		return report.Table{}, err
 	}
+	return table3FromLogs(logs)
+}
+
+// table3FromLogs builds Table 3 from an already-generated log set.
+func table3FromLogs(logs *loggen.Logs) (report.Table, error) {
 	stats, err := loganalysis.AnalyzeJobs(logs.Compute)
 	if err != nil {
 		return report.Table{}, err
 	}
+	return table3FromStats(stats), nil
+}
+
+// table3FromStats builds Table 3 from an already-run job analysis.
+func table3FromStats(stats loganalysis.JobStats) report.Table {
 	t := report.Table{
 		Title:   "Table 3: Job execution statistics for the ABE cluster (synthetic log)",
 		Headers: []string{"Measure", "Value"},
@@ -145,7 +180,7 @@ func Table3JobStats(opts Options) (report.Table, error) {
 	t.AddRow("Total failures due to other/file system errors", stats.OtherFailures)
 	t.AddRow("Transient:other failure ratio", fmt.Sprintf("%.1f", stats.FailureRatio()))
 	t.AddRow("Cluster utility (CU) from the log", fmt.Sprintf("%.4f", stats.ClusterUtility()))
-	return t, nil
+	return t
 }
 
 // Table4DiskSurvival reproduces Table 4: the disk failure log and the
@@ -157,12 +192,23 @@ func Table4DiskSurvival(opts Options) (report.Table, error) {
 	if err != nil {
 		return report.Table{}, err
 	}
-	disks, err := loganalysis.AnalyzeDisks(logs.SAN, 480)
+	return table4FromLogs(logs, loggen.ABEConfig().Disks)
+}
+
+// table4FromLogs builds Table 4 from an already-generated log set and disk
+// population.
+func table4FromLogs(logs *loggen.Logs, population int) (report.Table, error) {
+	disks, err := loganalysis.AnalyzeDisks(logs.SAN, population)
 	if err != nil {
 		return report.Table{}, err
 	}
+	return table4FromReport(disks, population), nil
+}
+
+// table4FromReport builds Table 4 from an already-run disk analysis.
+func table4FromReport(disks loganalysis.DiskReport, population int) report.Table {
 	t := report.Table{
-		Title:   "Table 4: Disk failure log and Weibull survival analysis (synthetic ABE log, n=480)",
+		Title:   fmt.Sprintf("Table 4: Disk failure log and Weibull survival analysis (synthetic ABE log, n=%d)", population),
 		Headers: []string{"Date", "Number of failed disks"},
 	}
 	for _, d := range disks.ByDay {
@@ -174,7 +220,7 @@ func Table4DiskSurvival(opts Options) (report.Table, error) {
 	t.AddRow("Weibull shape std err", fmt.Sprintf("%.7f", disks.Fit.ShapeStdErr))
 	t.AddRow("Implied MTBF (hours)", fmt.Sprintf("%.0f", disks.Fit.MTBF()))
 	t.AddRow("Implied AFR", fmt.Sprintf("%.2f%%", disks.Fit.AFR()*100))
-	return t, nil
+	return t
 }
 
 // Table5Parameters reproduces Table 5: the simulation model parameters and
@@ -392,16 +438,24 @@ func Figure4ScaleFactors(quick bool) []float64 {
 	return []float64{1, 2, 4, 6, 8, 10}
 }
 
-// Figure4Points builds the sweep points of the Figure 4 scaling study: a
-// (base, spare-OSS) pair per scale factor, in factor order, every point
-// pinned to the given study seed (common random numbers), which keeps the
-// spare-vs-base comparison at each scale sharper than independent draws
-// would be. It is the single source of truth shared by Figure4Sweep, the
-// petascale_scaling example, and BenchmarkFigure4Sweep.
+// Figure4Points builds the sweep points of the Figure 4 scaling study over
+// the hard-coded ABE base configuration. It is the single source of truth
+// shared by Figure4Sweep, the petascale_scaling example, and
+// BenchmarkFigure4Sweep; the paper_full experiment uses Figure4PointsFrom
+// with a log-calibrated base instead.
 func Figure4Points(seed uint64, factors []float64) []sweep.Point {
+	return Figure4PointsFrom(abe.ABE(), seed, factors)
+}
+
+// Figure4PointsFrom builds the sweep points of a Figure 4-style scaling
+// study from the given base configuration: a (base, spare-OSS) pair per
+// scale factor, in factor order, every point pinned to the given study seed
+// (common random numbers), which keeps the spare-vs-base comparison at each
+// scale sharper than independent draws would be.
+func Figure4PointsFrom(base abe.Config, seed uint64, factors []float64) []sweep.Point {
 	points := make([]sweep.Point, 0, 2*len(factors))
 	for _, factor := range factors {
-		cfg := abe.ABE().ScaledBy(factor)
+		cfg := base.ScaledBy(factor)
 		points = append(points,
 			sweep.Point{Config: cfg, Seed: seed},
 			sweep.Point{Label: cfg.Name + " +spare OSS", Config: cfg.WithSpareOSS(true), Seed: seed},
@@ -710,6 +764,7 @@ func Names() []string {
 	return []string{
 		"table1", "table2", "table3", "table4", "table5",
 		"figure1", "figure2", "figure3", "figure4",
+		"paper_full",
 		"rare_event_dataloss",
 		"ablation-correlation", "ablation-analytic",
 		"extension-checkpoint",
@@ -764,6 +819,12 @@ func RunArtifact(name string, opts Options) (report.Artifact, error) {
 			return nil, err
 		}
 		return a, nil
+	case "paper_full":
+		r, err := PaperFull(opts)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
 	case "rare_event_dataloss":
 		t, err := RareEventDataLoss(opts)
 		return t, err

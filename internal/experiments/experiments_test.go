@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
@@ -229,8 +230,116 @@ func TestRunDispatch(t *testing.T) {
 	if _, err := Run("bogus", opts); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if len(Names()) != 13 {
+	if len(Names()) != 14 {
 		t.Errorf("Names() = %v", Names())
+	}
+}
+
+func TestPaperFull(t *testing.T) {
+	res, err := PaperFull(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 5 {
+		t.Fatalf("tables = %d, want 5 (Tables 1-5)", len(res.Tables))
+	}
+	out := res.Render()
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3", "Table 4",
+		"Table 5: simulation model parameters derived from log analysis",
+		"log-calibrated", "Round trip",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("paper_full rendering missing %q", want)
+		}
+	}
+
+	// The sweep must run the *calibrated* configuration, not the hard-coded
+	// ABE constants: its disk parameters must equal the derived rates.
+	cal := res.Calibration
+	for _, pt := range res.Sweep.Points {
+		cfg := pt.Measures.Config
+		if cfg.Storage.Disk.ShapeBeta != cal.Rates.DiskWeibullShape {
+			t.Fatalf("sweep point %q disk shape %v, want derived %v", pt.Label, cfg.Storage.Disk.ShapeBeta, cal.Rates.DiskWeibullShape)
+		}
+		if cfg.Storage.Disk.MTBFHours != cal.Rates.DiskMTBFHours {
+			t.Fatalf("sweep point %q disk MTBF %v, want derived %v", pt.Label, cfg.Storage.Disk.MTBFHours, cal.Rates.DiskMTBFHours)
+		}
+	}
+	if got, want := len(res.Sweep.Points), 2*len(Figure4ScaleFactors(true)); got != want {
+		t.Errorf("sweep points = %d, want %d (base + spare per factor)", got, want)
+	}
+
+	// Round trip: the statistically stable rates must re-derive tightly.
+	for name, tol := range map[string]float64{
+		"jobs_per_hour":     0.10,
+		"cfs_availability":  0.05,
+		"outages_per_month": 0.50,
+	} {
+		if got := res.RoundTrip.RelativeError[name]; !(got <= tol) {
+			t.Errorf("round-trip %s error %v, want <= %v", name, got, tol)
+		}
+	}
+
+	// JSON: one valid document with the sweep schema at the top level and a
+	// calibration section.
+	doc, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		MissionHours float64 `json:"mission_hours"`
+		Points       []struct {
+			Label string `json:"label"`
+		} `json:"points"`
+		Calibration struct {
+			Population int `json:"population"`
+			Parameters []struct {
+				Name   string `json:"name"`
+				Source string `json:"source"`
+			} `json:"parameters"`
+		} `json:"calibration"`
+		RoundTrip struct {
+			RelativeError map[string]float64 `json:"relative_error"`
+		} `json:"round_trip"`
+	}
+	if err := json.Unmarshal([]byte(doc), &parsed); err != nil {
+		t.Fatalf("paper_full JSON invalid: %v", err)
+	}
+	if parsed.MissionHours != 4380 || len(parsed.Points) != len(res.Sweep.Points) {
+		t.Errorf("JSON sweep section wrong: %+v", parsed)
+	}
+	if parsed.Calibration.Population != 480 || len(parsed.Calibration.Parameters) < 10 {
+		t.Errorf("JSON calibration section wrong: %+v", parsed.Calibration)
+	}
+	if len(parsed.RoundTrip.RelativeError) == 0 {
+		t.Error("JSON round_trip section missing")
+	}
+}
+
+func TestPaperFullDeterministicAcrossParallelism(t *testing.T) {
+	serial := quick()
+	serial.Parallelism = 1
+	parallel := quick()
+	parallel.Parallelism = 4
+	a, err := PaperFull(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PaperFull(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ja != jb {
+		t.Error("paper_full JSON differs across parallelism settings")
 	}
 }
 

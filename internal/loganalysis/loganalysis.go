@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"time"
@@ -51,10 +52,39 @@ type OutageReport struct {
 	WindowEnd   time.Time
 	// DowntimeHours is the total (coalesced) downtime.
 	DowntimeHours float64
+	// RawOutageHours is the sum of the individual outage durations before
+	// coalescing. When outages overlap, RawOutageHours exceeds DowntimeHours.
+	RawOutageHours float64
 	// Availability is 1 - downtime/window.
 	Availability float64
-	// DowntimeByCause splits the downtime hours per cause.
+	// DowntimeByCause attributes each outage's raw (uncoalesced) duration to
+	// its cause. Invariant: the per-cause hours sum to RawOutageHours, so with
+	// overlapping mixed-cause outages the sum over causes can exceed the
+	// coalesced DowntimeHours — the split answers "how long was each cause
+	// active", not "how much wall-clock downtime does each cause own".
 	DowntimeByCause map[string]float64
+}
+
+// MeanOutageHours is the mean duration of the individual outages. It is
+// computed from the raw per-outage durations: coalescing is a wall-clock
+// downtime concept, and dividing coalesced downtime by the uncoalesced outage
+// count would understate the mean whenever outages overlap.
+func (r OutageReport) MeanOutageHours() float64 {
+	if len(r.Outages) == 0 {
+		return 0
+	}
+	return r.RawOutageHours / float64(len(r.Outages))
+}
+
+// OutageDurations returns the raw per-outage durations in hours, in outage
+// order — the empirical sample the calibration pipeline fits outage-duration
+// distributions from.
+func (r OutageReport) OutageDurations() []float64 {
+	durations := make([]float64, len(r.Outages))
+	for i, o := range r.Outages {
+		durations[i] = o.Hours()
+	}
+	return durations
 }
 
 // AnalyzeOutages extracts outages from SAN-log events and computes the CFS
@@ -102,6 +132,7 @@ func AnalyzeOutages(events []loggen.Event) (OutageReport, error) {
 	var mergedEnd time.Time
 	for _, o := range outages {
 		report.DowntimeByCause[o.Cause] += o.Hours()
+		report.RawOutageHours += o.Hours()
 		start := o.Start
 		if start.Before(mergedEnd) {
 			start = mergedEnd
@@ -172,9 +203,15 @@ type JobStats struct {
 }
 
 // FailureRatio returns how many times more likely a transient failure is
-// than another failure (the paper reports ~5x).
+// than another failure (the paper reports ~5x). A log with transient failures
+// but no other failures yields +Inf — transient failures dominate without
+// bound — which keeps "no other failures" distinguishable from "no transient
+// failures" (ratio 0). A log with no failures at all yields 0.
 func (s JobStats) FailureRatio() float64 {
 	if s.OtherFailures == 0 {
+		if s.TransientFailures > 0 {
+			return math.Inf(1)
+		}
 		return 0
 	}
 	return float64(s.TransientFailures) / float64(s.OtherFailures)
@@ -246,15 +283,25 @@ type DiskReport struct {
 	Replacements int
 	// PerWeek is the average number of failures per week over the window.
 	PerWeek float64
+	// RepairHours lists the observed failure-to-replacement lags per disk
+	// incident, in event order — the empirical sample the calibration
+	// pipeline fits replacement-time distributions from.
+	RepairHours []float64
 	// Fit is the censored Weibull fit over the disk population.
 	Fit survival.WeibullFit
 }
 
 // AnalyzeDisks aggregates disk incidents and performs the survival analysis.
-// population is the number of monitored disks (480 for ABE's scratch
-// partition); disks that never failed are treated as right-censored at their
-// age at the end of the window. Failure ages are taken from the log's
-// age_hours attribute when present, otherwise from the window start.
+// population is the number of monitored disk slots (480 for ABE's scratch
+// partition); it must cover every slot that reports a failure, or the risk
+// set would be silently under-censored, so a log naming more distinct failed
+// slots than the population is an error. Exposure is counted per disk
+// incident: each slot is a renewal process, so a replaced disk that fails
+// again contributes a second failure observation, the working replacement
+// disk at the window end contributes a right-censored observation at its own
+// age, and slots that never failed are right-censored at the window length.
+// Failure ages are taken from the log's age_hours attribute when present,
+// otherwise from the slot's last renewal (replacement) time.
 func AnalyzeDisks(events []loggen.Event, population int) (DiskReport, error) {
 	if len(events) == 0 {
 		return DiskReport{}, ErrEmptyLog
@@ -270,6 +317,11 @@ func AnalyzeDisks(events []loggen.Event, population int) (DiskReport, error) {
 	report := DiskReport{}
 	perDay := map[time.Time]int{}
 	var obs []survival.Observation
+	// Per-slot renewal state: when the slot's current disk was installed
+	// (window start for the original population) and the failure, if any,
+	// still awaiting its replacement record.
+	lastRenewal := map[string]time.Time{}
+	pendingFail := map[string]time.Time{}
 	failedDisks := map[string]bool{}
 	for _, e := range sorted {
 		switch e.Kind {
@@ -278,7 +330,11 @@ func AnalyzeDisks(events []loggen.Event, population int) (DiskReport, error) {
 			day := e.Time.UTC().Truncate(24 * time.Hour)
 			perDay[day]++
 			failedDisks[e.Node] = true
-			age := e.Time.Sub(windowStart).Hours()
+			installed := windowStart
+			if t, ok := lastRenewal[e.Node]; ok {
+				installed = t
+			}
+			age := e.Time.Sub(installed).Hours()
 			if s, ok := e.Attrs["age_hours"]; ok {
 				if parsed, err := strconv.ParseFloat(s, 64); err == nil && parsed > 0 {
 					age = parsed
@@ -288,12 +344,22 @@ func AnalyzeDisks(events []loggen.Event, population int) (DiskReport, error) {
 				age = 1
 			}
 			obs = append(obs, survival.Observation{Time: age, Event: true})
+			pendingFail[e.Node] = e.Time
 		case loggen.DiskReplaced:
 			report.Replacements++
+			if failedAt, ok := pendingFail[e.Node]; ok {
+				report.RepairHours = append(report.RepairHours, e.Time.Sub(failedAt).Hours())
+				delete(pendingFail, e.Node)
+			}
+			lastRenewal[e.Node] = e.Time
 		}
 	}
 	if report.TotalFailures == 0 {
 		return DiskReport{}, errors.New("loganalysis: no disk failures in log")
+	}
+	if population < len(failedDisks) {
+		return DiskReport{}, fmt.Errorf("loganalysis: impossible disk population %d: log names %d distinct failed disks",
+			population, len(failedDisks))
 	}
 	for day, n := range perDay {
 		report.ByDay = append(report.ByDay, DiskFailureDay{Date: day, Failures: n})
@@ -303,6 +369,29 @@ func AnalyzeDisks(events []loggen.Event, population int) (DiskReport, error) {
 		report.PerWeek = float64(report.TotalFailures) / (windowHours / 168)
 	}
 
+	// Right-censor the working replacement disks: a slot whose last failure
+	// was repaired holds a new disk that survived from its installation to
+	// the window end. Iterate in sorted node order so the observation list is
+	// deterministic.
+	replacedNodes := make([]string, 0, len(lastRenewal))
+	for node := range lastRenewal {
+		replacedNodes = append(replacedNodes, node)
+	}
+	sort.Strings(replacedNodes)
+	for _, node := range replacedNodes {
+		if _, stillDown := pendingFail[node]; stillDown {
+			continue
+		}
+		// An orphan DISK_REPLACED with no preceding failure leaves the slot in
+		// the never-failed pool below; censoring it here too would count the
+		// slot twice.
+		if !failedDisks[node] {
+			continue
+		}
+		if age := windowEnd.Sub(lastRenewal[node]).Hours(); age > 0 {
+			obs = append(obs, survival.Observation{Time: age, Event: false})
+		}
+	}
 	// Right-censor the disks that survived the whole window. Their exposure
 	// is at least the window length; without per-disk install dates we use
 	// the window length itself, which matches the paper's treatment of the
@@ -327,25 +416,26 @@ func AnalyzeDisks(events []loggen.Event, population int) (DiskReport, error) {
 // ---------------------------------------------------------------------------
 
 // DerivedRates are the model parameters extracted from the logs, feeding the
-// stochastic model of Section 4.
+// stochastic model of Section 4. The JSON tags are part of the machine-
+// readable calibration report emitted by abesim -experiment paper_full.
 type DerivedRates struct {
 	// OutagesPerMonth is the observed CFS outage rate.
-	OutagesPerMonth float64
-	// MeanOutageHours is the mean outage duration.
-	MeanOutageHours float64
+	OutagesPerMonth float64 `json:"outages_per_month"`
+	// MeanOutageHours is the mean raw (uncoalesced) outage duration.
+	MeanOutageHours float64 `json:"mean_outage_hours"`
 	// CFSAvailability is the availability from the outage log.
-	CFSAvailability float64
+	CFSAvailability float64 `json:"cfs_availability"`
 	// TransientJobFailureFraction and OtherJobFailureFraction are per-job
 	// failure probabilities.
-	TransientJobFailureFraction float64
-	OtherJobFailureFraction     float64
+	TransientJobFailureFraction float64 `json:"transient_job_failure_fraction"`
+	OtherJobFailureFraction     float64 `json:"other_job_failure_fraction"`
 	// JobsPerHour is the observed submission rate.
-	JobsPerHour float64
+	JobsPerHour float64 `json:"jobs_per_hour"`
 	// DiskWeibullShape and DiskMTBFHours come from the survival analysis.
-	DiskWeibullShape float64
-	DiskMTBFHours    float64
+	DiskWeibullShape float64 `json:"disk_weibull_shape"`
+	DiskMTBFHours    float64 `json:"disk_mtbf_hours"`
 	// DiskReplacementsPerWeek is the observed replacement pace.
-	DiskReplacementsPerWeek float64
+	DiskReplacementsPerWeek float64 `json:"disk_replacements_per_week"`
 }
 
 // DeriveRates runs the full pipeline over both logs and returns the model
@@ -366,6 +456,13 @@ func DeriveRates(logs *loggen.Logs, diskPopulation int) (DerivedRates, error) {
 	if err != nil {
 		return DerivedRates{}, err
 	}
+	return DeriveRatesFromReports(outages, jobs, disks), nil
+}
+
+// DeriveRatesFromReports computes the model parameters from already-run
+// analyses, so callers that need the underlying reports too (the calibration
+// pipeline) do not pay for a second pass over the logs.
+func DeriveRatesFromReports(outages OutageReport, jobs JobStats, disks DiskReport) DerivedRates {
 	sanWindowHours := outages.WindowEnd.Sub(outages.WindowStart).Hours()
 	jobWindowHours := jobs.WindowEnd.Sub(jobs.WindowStart).Hours()
 	rates := DerivedRates{
@@ -379,13 +476,11 @@ func DeriveRates(logs *loggen.Logs, diskPopulation int) (DerivedRates, error) {
 	if sanWindowHours > 0 {
 		rates.OutagesPerMonth = float64(len(outages.Outages)) / (sanWindowHours / 720)
 	}
-	if len(outages.Outages) > 0 {
-		rates.MeanOutageHours = outages.DowntimeHours / float64(len(outages.Outages))
-	}
+	rates.MeanOutageHours = outages.MeanOutageHours()
 	if jobWindowHours > 0 {
 		rates.JobsPerHour = float64(jobs.TotalJobs) / jobWindowHours
 	}
-	return rates, nil
+	return rates
 }
 
 // sortedByTime returns a copy of events sorted by timestamp.

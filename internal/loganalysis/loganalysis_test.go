@@ -83,6 +83,79 @@ func TestAnalyzeOutagesCoalescesOverlapsAndOpenEnds(t *testing.T) {
 	}
 }
 
+func TestMeanOutageHoursWithOverlappingOutages(t *testing.T) {
+	// Two 4-hour outages overlapping by 2 hours: coalesced downtime is 6 h,
+	// but each outage lasted 4 h, so the mean outage duration is 4 h. The old
+	// coalesced/count derivation reported 3 h.
+	events := []loggen.Event{
+		{Time: ts(1, 0), Source: "san", Node: "fabric", Kind: loggen.OutageStart, Attrs: map[string]string{"cause": loggen.CauseNetwork}},
+		{Time: ts(1, 2), Source: "san", Node: "ddn1", Kind: loggen.OutageStart, Attrs: map[string]string{"cause": loggen.CauseIOHardware}},
+		{Time: ts(1, 4), Source: "san", Node: "fabric", Kind: loggen.OutageEnd},
+		{Time: ts(1, 6), Source: "san", Node: "ddn1", Kind: loggen.OutageEnd},
+		{Time: ts(2, 0), Source: "san", Node: "other", Kind: loggen.DiskReplaced},
+	}
+	report, err := AnalyzeOutages(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(report.DowntimeHours-6) > 1e-9 {
+		t.Errorf("coalesced downtime = %v, want 6", report.DowntimeHours)
+	}
+	if math.Abs(report.RawOutageHours-8) > 1e-9 {
+		t.Errorf("raw outage hours = %v, want 8", report.RawOutageHours)
+	}
+	if got := report.MeanOutageHours(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("mean outage duration = %v, want 4 (raw), not 3 (coalesced/count)", got)
+	}
+	// DowntimeByCause attributes raw per-outage hours: the per-cause sum
+	// equals RawOutageHours and may exceed the coalesced DowntimeHours — the
+	// documented invariant for overlapping mixed-cause outages.
+	var byCause float64
+	for _, h := range report.DowntimeByCause {
+		byCause += h
+	}
+	if math.Abs(byCause-report.RawOutageHours) > 1e-9 {
+		t.Errorf("sum of DowntimeByCause = %v, want RawOutageHours %v", byCause, report.RawOutageHours)
+	}
+	if report.DowntimeByCause[loggen.CauseNetwork] != 4 || report.DowntimeByCause[loggen.CauseIOHardware] != 4 {
+		t.Errorf("per-cause hours = %+v, want 4 h each", report.DowntimeByCause)
+	}
+	if !(byCause > report.DowntimeHours) {
+		t.Errorf("overlapping mixed-cause outages should make per-cause sum %v exceed coalesced %v", byCause, report.DowntimeHours)
+	}
+	durations := report.OutageDurations()
+	if len(durations) != 2 || math.Abs(durations[0]-4) > 1e-9 || math.Abs(durations[1]-4) > 1e-9 {
+		t.Errorf("outage durations = %v, want [4 4]", durations)
+	}
+	if (OutageReport{}).MeanOutageHours() != 0 {
+		t.Error("empty report should have zero mean outage duration")
+	}
+}
+
+func TestDeriveRatesMeanOutageHoursUsesRawDurations(t *testing.T) {
+	san := []loggen.Event{
+		{Time: ts(1, 0), Source: "san", Node: "fabric", Kind: loggen.OutageStart, Attrs: map[string]string{"cause": loggen.CauseNetwork}},
+		{Time: ts(1, 2), Source: "san", Node: "ddn1", Kind: loggen.OutageStart, Attrs: map[string]string{"cause": loggen.CauseIOHardware}},
+		{Time: ts(1, 4), Source: "san", Node: "fabric", Kind: loggen.OutageEnd},
+		{Time: ts(1, 6), Source: "san", Node: "ddn1", Kind: loggen.OutageEnd},
+		{Time: ts(3, 0), Source: "san", Node: "d1", Kind: loggen.DiskFailed, Attrs: map[string]string{"age_hours": "500"}},
+		{Time: ts(10, 0), Source: "san", Node: "end", Kind: loggen.DiskReplaced},
+	}
+	compute := []loggen.Event{
+		{Time: ts(1, 0), Node: "c0001", Kind: loggen.JobSubmit, Attrs: map[string]string{"job": "1"}},
+		{Time: ts(1, 5), Node: "c0001", Kind: loggen.JobEnd, Attrs: map[string]string{"job": "1", "status": loggen.JobOK}},
+		{Time: ts(9, 0), Node: "c0002", Kind: loggen.JobSubmit, Attrs: map[string]string{"job": "2"}},
+		{Time: ts(9, 5), Node: "c0002", Kind: loggen.JobEnd, Attrs: map[string]string{"job": "2", "status": loggen.JobOK}},
+	}
+	rates, err := DeriveRates(&loggen.Logs{SAN: san, Compute: compute}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rates.MeanOutageHours-4) > 1e-9 {
+		t.Errorf("derived mean outage duration = %v, want 4 (raw per-outage mean)", rates.MeanOutageHours)
+	}
+}
+
 func TestAnalyzeOutagesErrors(t *testing.T) {
 	if _, err := AnalyzeOutages(nil); err != ErrEmptyLog {
 		t.Errorf("empty log error = %v", err)
@@ -169,6 +242,24 @@ func TestAnalyzeJobsTable3Style(t *testing.T) {
 	}
 }
 
+func TestFailureRatioDistinguishesNoOtherFromNoTransient(t *testing.T) {
+	// Transient failures with no other failures: the ratio is unbounded, not
+	// zero — returning 0 here made "no other failures" indistinguishable from
+	// "no transient failures".
+	onlyTransient := JobStats{TotalJobs: 100, TransientFailures: 7}
+	if got := onlyTransient.FailureRatio(); !math.IsInf(got, 1) {
+		t.Errorf("FailureRatio with 7 transient / 0 other = %v, want +Inf", got)
+	}
+	onlyOther := JobStats{TotalJobs: 100, OtherFailures: 7}
+	if got := onlyOther.FailureRatio(); got != 0 {
+		t.Errorf("FailureRatio with 0 transient / 7 other = %v, want 0", got)
+	}
+	noFailures := JobStats{TotalJobs: 100}
+	if got := noFailures.FailureRatio(); got != 0 {
+		t.Errorf("FailureRatio with no failures = %v, want 0", got)
+	}
+}
+
 func TestAnalyzeDisks(t *testing.T) {
 	events := []loggen.Event{
 		{Time: ts(1, 0), Node: "window-open", Kind: loggen.JobSubmit},
@@ -196,8 +287,14 @@ func TestAnalyzeDisks(t *testing.T) {
 	if math.Abs(report.PerWeek-wantPerWeek) > 1e-9 {
 		t.Errorf("per week = %v, want %v", report.PerWeek, wantPerWeek)
 	}
-	if report.Fit.Shape <= 0 || report.Fit.N != 480 || report.Fit.Events != 4 {
+	// Exposure per incident: 4 failure events, the working replacement disk
+	// in the repaired slot censored at its own age, and the 476 never-failed
+	// slots censored at the window length — 481 observations in total.
+	if report.Fit.Shape <= 0 || report.Fit.N != 481 || report.Fit.Events != 4 {
 		t.Errorf("unexpected fit %+v", report.Fit)
+	}
+	if len(report.RepairHours) != 1 || math.Abs(report.RepairHours[0]-4) > 1e-9 {
+		t.Errorf("repair lags = %v, want [4]", report.RepairHours)
 	}
 	if _, err := AnalyzeDisks(nil, 480); err != ErrEmptyLog {
 		t.Error("empty log accepted")
@@ -207,6 +304,50 @@ func TestAnalyzeDisks(t *testing.T) {
 	}
 	if _, err := AnalyzeDisks([]loggen.Event{{Time: ts(1, 0), Kind: loggen.JobSubmit}}, 480); err == nil {
 		t.Error("log without disk failures accepted")
+	}
+}
+
+func TestAnalyzeDisksCensoringAccounting(t *testing.T) {
+	// Slot A fails twice (its replacement disk fails again and is replaced a
+	// second time); slot B fails once and stays down. Each incident is one
+	// exposure: 3 failure observations, plus slot A's second replacement disk
+	// right-censored at its own age, plus the never-failed survivors.
+	events := []loggen.Event{
+		{Time: ts(1, 0), Node: "open", Kind: loggen.JobSubmit},
+		{Time: ts(2, 0), Node: "slotA", Kind: loggen.DiskFailed, Attrs: map[string]string{"age_hours": "100"}},
+		{Time: ts(2, 4), Node: "slotA", Kind: loggen.DiskReplaced},
+		{Time: ts(10, 4), Node: "slotA", Kind: loggen.DiskFailed}, // no age attr: age = time since renewal
+		{Time: ts(10, 10), Node: "slotA", Kind: loggen.DiskReplaced},
+		{Time: ts(12, 0), Node: "slotB", Kind: loggen.DiskFailed, Attrs: map[string]string{"age_hours": "50"}},
+		{Time: ts(20, 0), Node: "close", Kind: loggen.JobSubmit},
+	}
+	report, err := AnalyzeDisks(events, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TotalFailures != 3 || report.Replacements != 2 {
+		t.Errorf("failures/replacements = %d/%d, want 3/2", report.TotalFailures, report.Replacements)
+	}
+	// 3 events + 1 working replacement disk (slot A) + 3 never-failed
+	// survivors (population 5, two distinct failed slots). Slot B is still
+	// down at the window end, so it adds no censored exposure.
+	if report.Fit.N != 7 || report.Fit.Events != 3 {
+		t.Errorf("fit N/events = %d/%d, want 7/3", report.Fit.N, report.Fit.Events)
+	}
+	if len(report.RepairHours) != 2 || math.Abs(report.RepairHours[0]-4) > 1e-9 || math.Abs(report.RepairHours[1]-6) > 1e-9 {
+		t.Errorf("repair lags = %v, want [4 6]", report.RepairHours)
+	}
+
+	// A population smaller than the number of distinct failed slots is
+	// impossible; the old code silently under-censored instead of erroring.
+	if _, err := AnalyzeDisks(events, 1); err == nil {
+		t.Error("impossible population (1 slot, 2 distinct failed disks) accepted")
+	} else if !strings.Contains(err.Error(), "impossible disk population") {
+		t.Errorf("unexpected error for impossible population: %v", err)
+	}
+	// population == distinct failed slots is legal: every slot failed.
+	if _, err := AnalyzeDisks(events, 2); err != nil {
+		t.Errorf("population == distinct failed disks rejected: %v", err)
 	}
 }
 

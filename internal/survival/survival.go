@@ -88,7 +88,7 @@ func MedianSurvivalTime(curve []KMPoint) (float64, error) {
 			return p.Time, nil
 		}
 	}
-	return 0, errors.New("survival: curve never falls below 0.5 (median not reached)")
+	return 0, errors.New("survival: curve never reaches 0.5 (median not reached)")
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@ package survival
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -81,6 +82,13 @@ func TestMedianSurvivalTime(t *testing.T) {
 	}
 	if _, err := MedianSurvivalTime([]KMPoint{{Time: 1, Survival: 0.9}}); err == nil {
 		t.Error("median found although curve never reaches 0.5")
+	} else if !strings.Contains(err.Error(), "never reaches 0.5") {
+		t.Errorf("error text %q should match the <= 0.5 check (\"never reaches\", not \"never falls below\")", err)
+	}
+	// A curve that lands exactly on 0.5 satisfies the <= 0.5 check; the error
+	// text above must agree with this boundary behavior.
+	if m, err := MedianSurvivalTime([]KMPoint{{Time: 7, Survival: 0.5}}); err != nil || m != 7 {
+		t.Errorf("median at exactly 0.5 = %v, %v; want 7, nil", m, err)
 	}
 }
 

@@ -101,6 +101,19 @@ func CalibrateFromLogs(logs *loggen.Logs, base abe.Config, diskPopulation int) (
 	return core.CalibrateFromLogs(logs, base, diskPopulation)
 }
 
+// ReproducePaper runs the whole paper in one shot from the (synthetic)
+// measured logs — analyze (Tables 1-4), calibrate the model with provenance
+// (Table 5), run the scaling sweep from the derived parameters, and round-
+// trip the calibration — and returns the machine-readable JSON document
+// (the "paper_full" experiment; see internal/calibrate for the schema).
+func ReproducePaper(opts EvaluationOptions) (string, error) {
+	res, err := experiments.PaperFull(opts.experimentOptions())
+	if err != nil {
+		return "", err
+	}
+	return res.JSON()
+}
+
 // CompareDesigns evaluates several design alternatives side by side and
 // returns a rendered comparison table.
 func CompareDesigns(designs map[string]abe.Config, opts EvaluationOptions) (string, error) {

@@ -69,6 +69,18 @@ func TestLogFacade(t *testing.T) {
 	}
 }
 
+func TestReproducePaperFacade(t *testing.T) {
+	doc, err := ReproducePaper(EvaluationOptions{Quick: true, Replications: 4, MissionHours: 2190, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"calibration"`, `"round_trip"`, `"points"`, `"tables"`} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("paper reproduction document missing %s section", want)
+		}
+	}
+}
+
 func TestCompareDesignsFacade(t *testing.T) {
 	designs := map[string]abe.Config{
 		"ABE baseline":       ABEConfig(),
