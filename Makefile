@@ -1,6 +1,8 @@
 GO ?= go
+# BENCHTIME tunes the bench target (e.g. BENCHTIME=1x for a CI smoke pass).
+BENCHTIME ?= 1s
 
-.PHONY: all build test race vet bench cover examples clean
+.PHONY: all build test race vet bench bench-all cover examples clean
 
 all: build vet test
 
@@ -19,7 +21,19 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Perf trajectory: run the sweep + petascale benchmarks (the sharded Figure 4
+# sweep and the flat-vs-lumped petascale point) and emit both the raw
+# benchstat-compatible text and a machine-readable BENCH_sweep.json. The
+# output is captured to the file first (not piped through tee) so a failing
+# benchmark fails the target instead of being masked by the pipe's exit
+# status.
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkFigure4Sweep|BenchmarkPetascalePoint' -benchmem -benchtime $(BENCHTIME) . > BENCH_sweep.txt || { cat BENCH_sweep.txt; exit 1; }
+	cat BENCH_sweep.txt
+	$(GO) run ./cmd/benchjson -in BENCH_sweep.txt -out BENCH_sweep.json
+
+# Every benchmark in the repository (slow).
+bench-all:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 cover:
@@ -35,6 +49,7 @@ examples:
 	$(GO) run ./examples/log_analysis
 	$(GO) run ./examples/calibrated_abe
 	$(GO) run ./examples/rare_event
+	$(GO) run ./examples/shared_repair_crew
 
 # Smoke-run the single-shot paper reproduction (tiny replication counts) and
 # check it emits one valid JSON document.
@@ -43,4 +58,4 @@ paper-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -f coverage.out
+	rm -f coverage.out BENCH_sweep.txt BENCH_sweep.json

@@ -167,6 +167,53 @@ func BenchmarkFigure4Sweep(b *testing.B) {
 	})
 }
 
+// BenchmarkPetascalePoint measures the largest Figure 4 point — the x10
+// petascale configuration, 81 OSS pairs / 20 DDN units / 4800 disks — in
+// its exponential-forms variant (Table 5's rate parameters taken
+// literally), evaluated flat and lumped. The two representations are
+// stochastically equivalent (strong lumpability; pinned by
+// abe.TestLumpedBuildMatchesFlat and the closed-form exponential
+// availability checks), but the lumped model replaces ~11k per-component
+// places/activities with a few dozen counted populations: the acceptance
+// target is >= 3x wall-clock and a materially lower events/rep metric.
+// Weibull-aged disks (the default petascale disk model) have no exact
+// lumping and always run flat — that regime is covered by the other
+// benchmarks.
+func BenchmarkPetascalePoint(b *testing.B) {
+	base := abe.Petascale().WithExponentialForms()
+	opts := san.Options{Mission: 8760, Replications: 4, Seed: 1}
+	for _, tc := range []struct {
+		name string
+		cfg  abe.Config
+	}{
+		{"flat", base},
+		{"lumped", base.WithLumping(true)},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var events, reps uint64
+			for i := 0; i < b.N; i++ {
+				model := san.NewModel(tc.cfg.Name)
+				mp, err := abe.Build(model, tc.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				study, err := san.RunReplications(model, mp.Rewards(), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := abe.MeasuresFromStudy(tc.cfg, study); err != nil {
+					b.Fatal(err)
+				}
+				events += study.TotalEvents
+				reps += uint64(opts.Replications)
+			}
+			b.ReportMetric(float64(events)/float64(reps), "events/rep")
+		})
+	}
+}
+
 // BenchmarkAblationSpareOSS isolates the standby-spare OSS design choice at
 // petascale (Figure 4's fourth series) without the rest of the sweep.
 func BenchmarkAblationSpareOSS(b *testing.B) {

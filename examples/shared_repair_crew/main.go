@@ -1,0 +1,95 @@
+// Command shared_repair_crew demonstrates the bounded-repair-crew scenario:
+// the paper's storage models replace every failed disk independently, but a
+// real operations team has a finite number of technicians shared across all
+// DDN units. The raid.StorageConfig.RepairCrews knob caps concurrent
+// replacements with a shared crew place: a failed disk claims a crew token
+// (instantaneous start activity) before its replacement clock runs and
+// returns it on completion.
+//
+// The demo overloads a small storage system (short disk lifetimes, slow
+// replacements) and compares unlimited crews against a single shared crew:
+// the replacement backlog — the time-averaged number of disks awaiting or
+// under replacement — grows sharply once the crew saturates, and the tier
+// failure exposure (and hence storage unavailability) grows with it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/raid"
+	"repro/internal/report"
+	"repro/internal/san"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	base := raid.StorageConfig{
+		DDNUnits:    2,
+		TiersPerDDN: 2,
+		Geometry:    raid.TierGeometry{Data: 4, Parity: 1},
+		// Deliberately brutal parameters so the crew matters: 20 disks with
+		// 500 h lifetimes generate ~0.038 replacements/hour against a single
+		// crew's 1/30 per hour service rate — a saturated repair queue.
+		Disk:       raid.DiskConfig{ShapeBeta: 1, MTBFHours: 500, ReplaceHours: 30, CapacityGB: 250},
+		Controller: raid.ControllerConfig{MTBFHours: 1e9, RepairLoHours: 1, RepairHiHours: 2},
+	}
+	opts := san.Options{Mission: 8760, Replications: 40, Seed: 7}
+
+	table := report.Table{
+		Title: fmt.Sprintf("Shared repair crews: %d disks, disk MTBF %.0f h, replacement %.0f h, mission %.0f h",
+			base.TotalDisks(), base.Disk.MTBFHours, base.Disk.ReplaceHours, opts.Mission),
+		Headers: []string{
+			"Repair crews", "Backlog (mean disks down)", "Busy crews (mean)",
+			"Storage availability", "Replacements/year",
+		},
+	}
+
+	for _, crews := range []int{0, 1, 2} {
+		cfg := base
+		cfg.RepairCrews = crews
+		model := san.NewModel("shared_repair_crew")
+		sp, err := raid.BuildStorage(model, "storage", cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rewards := []san.RewardVariable{
+			sp.AvailabilityReward("availability"),
+			sp.ReplacementCountReward("replacements"),
+			san.TokenTimeAverage("backlog", sp.DisksDown),
+		}
+		if sp.RepairCrews != nil {
+			crewPlace := sp.RepairCrews
+			idle := crews
+			rewards = append(rewards, san.RewardVariable{
+				Name: "busy_crews",
+				Mode: san.TimeAveraged,
+				Rate: func(mr san.MarkingReader) float64 {
+					return float64(idle - mr.Tokens(crewPlace))
+				},
+			})
+		}
+		study, err := san.RunReplications(model, rewards, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "unlimited"
+		busy := "n/a"
+		if crews > 0 {
+			label = fmt.Sprintf("%d", crews)
+			busy = fmt.Sprintf("%.2f", study.Mean("busy_crews"))
+		}
+		table.AddRow(
+			label,
+			fmt.Sprintf("%.2f", study.Mean("backlog")),
+			busy,
+			fmt.Sprintf("%.4f", study.Mean("availability")),
+			fmt.Sprintf("%.1f", study.Mean("replacements")),
+		)
+	}
+	fmt.Print(table.Render())
+	fmt.Println("\nWith one shared crew the backlog is no longer the independent-repair")
+	fmt.Println("value (arrival rate x replacement time): disks queue behind the busy")
+	fmt.Println("crew, concurrent-failure exposure rises, and storage availability drops.")
+}

@@ -56,6 +56,11 @@ type OSSConfig struct {
 	SpareOSS bool
 	// SpareActivationHours is the state-transfer time onto the spare.
 	SpareActivationHours float64
+	// ExponentialRepairs draws the hardware and software repair times from
+	// exponentials matching the uniform windows' means instead of the
+	// uniforms themselves — the memoryless regime required for lumped OSS
+	// pairs (Table 5 reports only rates for these processes).
+	ExponentialRepairs bool
 }
 
 // Validate checks the OSS parameters.
@@ -154,6 +159,16 @@ type Config struct {
 	Infrastructure InfrastructureConfig
 	// Workload describes the client job stream and transient errors.
 	Workload WorkloadConfig
+	// Lumped opts Build into the symmetry-aware lumped representation: every
+	// replicated family whose distributions are exponential (OSS fail-over
+	// pairs with ExponentialRepairs and no spare, RAID controller pairs with
+	// exponential repair, RAID tiers with shape-1 disks and exponential
+	// replacement) is composed as a counted population instead of being
+	// expanded per component, and the client transient source collapses to
+	// its impulse-only form. Exact under strong lumpability; families whose
+	// distributions are not memoryless (Weibull-aged disks, uniform repair
+	// windows, deterministic spare activation) keep their flat expansion.
+	Lumped bool
 }
 
 // ABE returns the configuration of the ABE cluster as described in
@@ -250,6 +265,32 @@ func (c Config) WithGeometry(g raid.TierGeometry) Config {
 	return out
 }
 
+// WithLumping returns a copy of the configuration with the lumped
+// representation enabled or disabled. Lumping changes only how the model is
+// represented, never which distributions it draws from: families whose
+// delays are not exponential keep their flat expansion.
+func (c Config) WithLumping(enabled bool) Config {
+	out := c
+	out.Lumped = enabled
+	return out
+}
+
+// WithExponentialForms returns a copy of the configuration with every
+// repair/lifetime distribution replaced by the exponential of the same mean:
+// shape-1 disks with exponential replacement, exponential OSS and controller
+// repairs. This is the fully memoryless variant of the model — the regime
+// Table 5's rate parameters describe directly, where the closed-form
+// exponential availability baselines are exact and every replicated family
+// admits lumping.
+func (c Config) WithExponentialForms() Config {
+	out := c
+	out.OSS.ExponentialRepairs = true
+	out.Storage.Disk.ShapeBeta = 1
+	out.Storage.Disk.ExponentialReplace = true
+	out.Storage.Controller.ExponentialRepair = true
+	return out
+}
+
 // WithDisk returns a copy of the configuration with the given disk failure
 // parameters (Weibull shape, MTBF via AFR, replacement time) — the tuple the
 // Figure 2/3 series are labeled with.
@@ -332,37 +373,28 @@ func Build(m *san.Model, cfg Config) (*ModelPlaces, error) {
 		return nil, err
 	}
 
-	hwRepair, err := dist.NewUniform(cfg.OSS.HWRepairLoHours, cfg.OSS.HWRepairHiHours)
+	pairCfg, err := cfg.pairConfig()
 	if err != nil {
 		return nil, err
-	}
-	swRepair, err := dist.NewUniform(cfg.OSS.SWRepairLoHours, cfg.OSS.SWRepairHiHours)
-	if err != nil {
-		return nil, err
-	}
-	pairCfg := cluster.PairConfig{
-		HWMTBFHours:          cfg.OSS.HWMTBFHours,
-		HWRepair:             hwRepair,
-		SWMTBFHours:          cfg.OSS.SWMTBFHours,
-		SWRepair:             swRepair,
-		PropagationProb:      cfg.OSS.PropagationProb,
-		Spare:                cfg.OSS.SpareOSS,
-		SpareActivationHours: cfg.OSS.SpareActivationHours,
 	}
 
-	// OSS: metadata pairs and scratch file-server pairs.
-	err = san.Replicate(m, "cfs/oss/metadata", cfg.MetadataOSSPairs, func(m *san.Model, prefix string, _ int) error {
-		_, err := cluster.BuildFailoverPair(m, prefix, pairCfg, mp.OSSPairsOut)
-		return err
-	})
-	if err != nil {
+	// OSS: metadata pairs and scratch file-server pairs. With lumping on and
+	// a fully exponential pair (ExponentialRepairs, no spare), each group is
+	// one counted population; otherwise every pair expands flat.
+	buildPairs := func(prefix string, n int) error {
+		if cfg.Lumped && pairCfg.Lumpable() {
+			_, err := cluster.BuildFailoverPairsLumped(m, prefix, n, pairCfg, mp.OSSPairsOut)
+			return err
+		}
+		return san.Replicate(m, prefix, n, func(m *san.Model, pairPrefix string, _ int) error {
+			_, err := cluster.BuildFailoverPair(m, pairPrefix, pairCfg, mp.OSSPairsOut)
+			return err
+		})
+	}
+	if err := buildPairs("cfs/oss/metadata", cfg.MetadataOSSPairs); err != nil {
 		return nil, err
 	}
-	err = san.Replicate(m, "cfs/oss/scratch", cfg.ScratchOSSPairs, func(m *san.Model, prefix string, _ int) error {
-		_, err := cluster.BuildFailoverPair(m, prefix, pairCfg, mp.OSSPairsOut)
-		return err
-	})
-	if err != nil {
+	if err := buildPairs("cfs/oss/scratch", cfg.ScratchOSSPairs); err != nil {
 		return nil, err
 	}
 
@@ -379,22 +411,107 @@ func Build(m *san.Model, cfg Config) (*ModelPlaces, error) {
 		return nil, err
 	}
 
-	// DDN_UNITS: controllers and RAID6 tiers of disks.
-	mp.Storage, err = raid.BuildStorage(m, "cfs/ddn_units", cfg.Storage)
+	// DDN_UNITS: controllers and RAID6 tiers of disks. Config.Lumped opts
+	// the storage families into their lumped forms where exact.
+	mp.Storage, err = raid.BuildStorage(m, "cfs/ddn_units", cfg.storageConfig())
 	if err != nil {
 		return nil, err
 	}
 
-	// CLIENT: transient errors of the compute-node <-> CFS network.
-	mp.Transient, err = cluster.BuildTransientSource(m, "client/network", cluster.TransientConfig{
+	// CLIENT: transient errors of the compute-node <-> CFS network. Nothing
+	// reads the transient window place (transient errors kill jobs via
+	// impulses but do not enter the CFS availability predicate), so the
+	// lumped form collapses the on/off source to one impulse-carrying
+	// renewal activity with the identical inter-event law.
+	transientCfg := cluster.TransientConfig{
 		EventsPerHour: cfg.Workload.TransientEventsPerHour,
 		OutageLoHours: cfg.Workload.TransientOutageLoHours,
 		OutageHiHours: cfg.Workload.TransientOutageHiHours,
-	})
+	}
+	if cfg.Lumped {
+		mp.Transient, err = cluster.BuildTransientImpulseSource(m, "client/network", transientCfg)
+	} else {
+		mp.Transient, err = cluster.BuildTransientSource(m, "client/network", transientCfg)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return mp, nil
+}
+
+// pairConfig materializes the OSS fail-over-pair configuration, choosing
+// uniform or exponential repair distributions per OSSConfig.
+func (c Config) pairConfig() (cluster.PairConfig, error) {
+	var hwRepair, swRepair dist.Distribution
+	var err error
+	if c.OSS.ExponentialRepairs {
+		hwRepair, err = dist.NewExponentialFromMean(c.OSS.HWRepairLoHours + (c.OSS.HWRepairHiHours-c.OSS.HWRepairLoHours)/2)
+		if err != nil {
+			return cluster.PairConfig{}, err
+		}
+		swRepair, err = dist.NewExponentialFromMean(c.OSS.SWRepairLoHours + (c.OSS.SWRepairHiHours-c.OSS.SWRepairLoHours)/2)
+		if err != nil {
+			return cluster.PairConfig{}, err
+		}
+	} else {
+		hwRepair, err = dist.NewUniform(c.OSS.HWRepairLoHours, c.OSS.HWRepairHiHours)
+		if err != nil {
+			return cluster.PairConfig{}, err
+		}
+		swRepair, err = dist.NewUniform(c.OSS.SWRepairLoHours, c.OSS.SWRepairHiHours)
+		if err != nil {
+			return cluster.PairConfig{}, err
+		}
+	}
+	return cluster.PairConfig{
+		HWMTBFHours:          c.OSS.HWMTBFHours,
+		HWRepair:             hwRepair,
+		SWMTBFHours:          c.OSS.SWMTBFHours,
+		SWRepair:             swRepair,
+		PropagationProb:      c.OSS.PropagationProb,
+		Spare:                c.OSS.SpareOSS,
+		SpareActivationHours: c.OSS.SpareActivationHours,
+	}, nil
+}
+
+// LumpsOSSPairs reports whether Build will compose the OSS fail-over pairs
+// in lumped form for this configuration. It derives the answer from the
+// same cluster.PairConfig.Lumpable check Build itself applies, so the
+// predicate cannot drift from the build path.
+func (c Config) LumpsOSSPairs() bool {
+	if !c.Lumped {
+		return false
+	}
+	pc, err := c.pairConfig()
+	return err == nil && pc.Lumpable()
+}
+
+// LumpsAnything reports whether Build composes any part of the model in
+// lumped form — any of the storage families, the OSS pairs, or the
+// impulse-only transient source (which lumps whenever the model-level
+// opt-in is set). It is the condition under which the built model differs
+// from FlatConfig's expansion.
+func (c Config) LumpsAnything() bool {
+	s := c.storageConfig()
+	return c.Lumped || s.LumpsControllers() || s.LumpsTiers()
+}
+
+// FlatConfig returns the configuration with every lumping opt-in cleared —
+// the exact flat expansion ModelStats compares against. Distributions are
+// untouched.
+func (c Config) FlatConfig() Config {
+	out := c
+	out.Lumped = false
+	out.Storage.Lumped = false
+	return out
+}
+
+// storageConfig returns the storage configuration Build hands to
+// raid.BuildStorage, with the model-level lumping opt-in propagated.
+func (c Config) storageConfig() raid.StorageConfig {
+	out := c.Storage
+	out.Lumped = out.Lumped || c.Lumped
+	return out
 }
 
 // Rewards returns the reward variables estimated on the composed model: the
@@ -433,22 +550,82 @@ func (mp *ModelPlaces) Rewards() []san.RewardVariable {
 }
 
 // CompositionTree returns the replicate/join composition tree of the model
-// (the paper's Figure 1) for the given configuration.
+// (the paper's Figure 1) for the given configuration. Replicate nodes that
+// Build composes in lumped (counted) form are annotated "[lumped]"; the
+// rest expand flat.
 func CompositionTree(cfg Config) *san.CompositionNode {
+	lumpMark := func(lumped bool) string {
+		if lumped {
+			return "[lumped]"
+		}
+		return ""
+	}
+	storage := cfg.storageConfig()
 	return san.NewJoinNode("CLUSTER",
 		san.NewAtomicNode("CLIENT"),
 		san.NewJoinNode("CFS_UNIT",
-			san.NewReplicateNode("OSS", cfg.TotalOSSPairs(), san.NewAtomicNode("OSS_PAIR")),
+			san.NewReplicateNode("OSS", cfg.TotalOSSPairs(), san.NewAtomicNode("OSS_PAIR")).
+				Annotate(lumpMark(cfg.LumpsOSSPairs())),
 			san.NewAtomicNode("OSS_SAN_NW"),
 			san.NewAtomicNode("SAN"),
 			san.NewReplicateNode("DDN_UNITS", cfg.Storage.DDNUnits,
 				san.NewJoinNode("DDN",
-					san.NewAtomicNode("RAID_CONTROLLER"),
-					san.NewReplicateNode("RAID6_TIERS", cfg.Storage.TiersPerDDN, san.NewAtomicNode("RAID6_TIER")),
+					san.NewAtomicNode("RAID_CONTROLLER").
+						Annotate(lumpMark(storage.LumpsControllers())),
+					san.NewReplicateNode("RAID6_TIERS", cfg.Storage.TiersPerDDN, san.NewAtomicNode("RAID6_TIER")).
+						Annotate(lumpMark(storage.LumpsTiers())),
 				),
 			),
 		),
 	)
+}
+
+// ModelStats is the model_stats view of a configuration: the size of the
+// model Build composes for it, next to the size of its flat expansion. For
+// a non-lumped configuration the two coincide.
+type ModelStats struct {
+	// Places and Activities are the size of the model as built for the
+	// configuration (lumped where the configuration opts in and the
+	// distributions allow).
+	Places     int
+	Activities int
+	// FlatPlaces and FlatActivities are the size of the flat expansion of
+	// the same configuration.
+	FlatPlaces     int
+	FlatActivities int
+	// Lumped reports whether any family was composed in lumped form.
+	Lumped bool
+}
+
+// ModelStats builds the configuration's model (and, when lumping changed
+// anything, its flat expansion via FlatConfig) and returns the size
+// comparison.
+func (c Config) ModelStats() (ModelStats, error) {
+	build := func(cfg Config) (san.ModelStats, error) {
+		model := san.NewModel(cfg.Name)
+		if _, err := Build(model, cfg); err != nil {
+			return san.ModelStats{}, err
+		}
+		return model.Stats(), nil
+	}
+	built, err := build(c)
+	if err != nil {
+		return ModelStats{}, err
+	}
+	out := ModelStats{
+		Places: built.Places, Activities: built.Activities,
+		FlatPlaces: built.Places, FlatActivities: built.Activities,
+		Lumped: c.LumpsAnything(),
+	}
+	if out.Lumped {
+		flat, err := build(c.FlatConfig())
+		if err != nil {
+			return ModelStats{}, err
+		}
+		out.FlatPlaces = flat.Places
+		out.FlatActivities = flat.Activities
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -427,3 +427,157 @@ func TestClusterUtilityClamped(t *testing.T) {
 		t.Errorf("CU = %v, want clamped to 0", m.ClusterUtility)
 	}
 }
+
+// TestLumpedBuildMatchesFlat pins the tentpole equivalence on the full
+// composed model: the exponential-forms configuration built flat and lumped
+// must agree on every reward mean within pooled confidence intervals, while
+// the lumped model is drastically smaller and fires materially fewer events
+// (the transient window is lumped away, everything else keeps its exact
+// jump statistics).
+func TestLumpedBuildMatchesFlat(t *testing.T) {
+	cfg := ABE().WithExponentialForms()
+	opts := san.Options{Mission: 8760, Replications: 24, Seed: 29}
+
+	run := func(lumped bool) (*san.StudyResult, san.ModelStats) {
+		model := san.NewModel("equiv")
+		mp, err := Build(model, cfg.WithLumping(lumped))
+		if err != nil {
+			t.Fatal(err)
+		}
+		study, err := san.RunReplications(model, mp.Rewards(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return study, model.Stats()
+	}
+	flat, flatStats := run(false)
+	lumped, lumpedStats := run(true)
+
+	// The lumped composed model is orders of magnitude smaller: counted
+	// populations replace per-component expansion everywhere.
+	if lumpedStats.Activities*10 > flatStats.Activities || lumpedStats.Places*10 > flatStats.Places {
+		t.Errorf("lumped model not materially smaller: %+v vs flat %+v", lumpedStats, flatStats)
+	}
+	// And it fires materially fewer events for the same measures.
+	if !(lumped.TotalEvents < flat.TotalEvents*9/10) {
+		t.Errorf("lumped events %d not materially below flat %d", lumped.TotalEvents, flat.TotalEvents)
+	}
+	for _, reward := range []string{
+		RewardStorageAvailability, RewardCFSAvailability, RewardDiskReplacements,
+		RewardLostJobsCFS, RewardLostJobsTransient, RewardOSSPairsDown,
+	} {
+		fci, err := flat.Interval(reward)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lci, err := lumped.Interval(reward)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled := math.Sqrt(fci.HalfWidth*fci.HalfWidth + lci.HalfWidth*lci.HalfWidth)
+		if math.Abs(fci.Mean-lci.Mean) > 3*pooled {
+			t.Errorf("%s: flat %v vs lumped %v beyond pooled interval %v", reward, fci.Mean, lci.Mean, pooled)
+		}
+	}
+}
+
+func TestWithExponentialFormsAndLumping(t *testing.T) {
+	base := ABE()
+	exp := base.WithExponentialForms()
+	if base.OSS.ExponentialRepairs || base.Lumped {
+		t.Error("modifiers mutated the base config")
+	}
+	if !exp.OSS.ExponentialRepairs || exp.Storage.Disk.ShapeBeta != 1 ||
+		!exp.Storage.Disk.ExponentialReplace || !exp.Storage.Controller.ExponentialRepair {
+		t.Errorf("WithExponentialForms incomplete: %+v", exp)
+	}
+	if err := exp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lumped := exp.WithLumping(true)
+	if !lumped.Lumped || exp.Lumped {
+		t.Error("WithLumping did not copy-on-write")
+	}
+	if !lumped.LumpsOSSPairs() {
+		t.Error("exponential-forms config should lump OSS pairs")
+	}
+	// The spare's deterministic activation forces flat pairs even when lumped.
+	if lumped.WithSpareOSS(true).LumpsOSSPairs() {
+		t.Error("spared OSS pairs must stay flat")
+	}
+	// The default (uniform-repair, Weibull-disk) config lumps nothing even
+	// with the opt-in: representation never changes the distributions.
+	plainLumped := base.WithLumping(true)
+	if plainLumped.LumpsOSSPairs() || plainLumped.storageConfig().LumpsTiers() || plainLumped.storageConfig().LumpsControllers() {
+		t.Error("non-exponential families must keep their flat expansion")
+	}
+}
+
+func TestModelStats(t *testing.T) {
+	flat, err := ABE().ModelStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Lumped || flat.Places != flat.FlatPlaces || flat.Activities != flat.FlatActivities {
+		t.Errorf("flat config stats inconsistent: %+v", flat)
+	}
+	if flat.Places == 0 || flat.Activities == 0 {
+		t.Errorf("empty stats: %+v", flat)
+	}
+	lumped, err := ABE().WithExponentialForms().WithLumping(true).ModelStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lumped.Lumped {
+		t.Errorf("lumped flag lost: %+v", lumped)
+	}
+	if lumped.Places >= lumped.FlatPlaces || lumped.Activities >= lumped.FlatActivities {
+		t.Errorf("lumped stats not smaller than flat expansion: %+v", lumped)
+	}
+	// The flat expansion of the exponential-forms config matches the flat
+	// default in size (distribution swaps do not change the structure).
+	if lumped.FlatPlaces != flat.FlatPlaces || lumped.FlatActivities != flat.FlatActivities {
+		t.Errorf("flat expansion sizes differ: %+v vs %+v", lumped, flat)
+	}
+	// A direct storage-level opt-in (Config.Lumped left false) still counts
+	// as lumped, and its flat comparison clears the storage flag too.
+	storageOnly := ABE()
+	storageOnly.Storage.Disk.ShapeBeta = 1
+	storageOnly.Storage.Disk.ExponentialReplace = true
+	storageOnly.Storage.Lumped = true
+	if !storageOnly.LumpsAnything() {
+		t.Error("storage-level lumping opt-in not detected")
+	}
+	if storageOnly.FlatConfig().LumpsAnything() {
+		t.Error("FlatConfig left a lumping opt-in set")
+	}
+	so, err := storageOnly.ModelStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !so.Lumped || so.Places >= so.FlatPlaces || so.Activities >= so.FlatActivities {
+		t.Errorf("storage-only lumped stats inconsistent: %+v", so)
+	}
+}
+
+func TestCompositionTreeLumpedAnnotations(t *testing.T) {
+	plain := CompositionTree(ABE()).Render()
+	if strings.Contains(plain, "[lumped]") {
+		t.Errorf("flat config tree claims lumping:\n%s", plain)
+	}
+	lumped := CompositionTree(ABE().WithExponentialForms().WithLumping(true)).Render()
+	for _, want := range []string{
+		"Replicate(OSS, n=9) [lumped]",
+		"SAN(RAID_CONTROLLER) [lumped]",
+		"Replicate(RAID6_TIERS, n=24) [lumped]",
+	} {
+		if !strings.Contains(lumped, want) {
+			t.Errorf("lumped tree missing %q:\n%s", want, lumped)
+		}
+	}
+	// Weibull disks stay individual even under the lumping opt-in.
+	partial := CompositionTree(ABE().WithLumping(true)).Render()
+	if strings.Contains(partial, "RAID6_TIERS, n=24) [lumped]") {
+		t.Errorf("Weibull tiers annotated as lumped:\n%s", partial)
+	}
+}

@@ -282,6 +282,131 @@ func BuildFailoverPair(m *san.Model, prefix string, cfg PairConfig, pairsOut *sa
 	return pp, nil
 }
 
+// ---------------------------------------------------------------------------
+// Lumped fail-over pairs
+// ---------------------------------------------------------------------------
+
+// Lumpable reports whether the pair configuration admits exact strong
+// lumping: every distribution the pair draws from must be exponential
+// (failures are by construction; both repairs must be), and the standby
+// spare must be disabled — its deterministic activation delay is not
+// memoryless, so spared pairs always expand flat.
+func (c PairConfig) Lumpable() bool {
+	if c.Spare {
+		return false
+	}
+	_, hwOK := c.HWRepair.(dist.Exponential)
+	_, swOK := c.SWRepair.(dist.Exponential)
+	return hwOK && swOK
+}
+
+// Fail-over pair local states: each letter is one server, u = up, h = down
+// with a hardware fault, s = down with a software fault. Servers within a
+// pair are themselves exchangeable, so unordered pairs suffice — six states
+// instead of nine.
+const (
+	pairUU = "uu"
+	pairUH = "uh"
+	pairUS = "us"
+	pairHH = "hh"
+	pairHS = "hs"
+	pairSS = "ss"
+)
+
+// FailoverPairClass returns the replica class of one fail-over pair for
+// ReplicateLumped: the six unordered (server x server) local states and the
+// exponential transitions of BuildFailoverPair, with the correlated-failure
+// case expressed by exponential thinning (a failure at rate lambda that
+// propagates with probability p is the race of an isolated failure at
+// lambda(1-p) and a correlated one at lambda p — exactly the flat case
+// split). Transitions into a fully-down state increment pairsOut;
+// transitions out of one decrement it, matching the flat takeDown/bringUp
+// bookkeeping.
+func FailoverPairClass(cfg PairConfig, pairsOut *san.Place) (san.ReplicaClass, error) {
+	if err := cfg.Validate(); err != nil {
+		return san.ReplicaClass{}, err
+	}
+	if !cfg.Lumpable() {
+		return san.ReplicaClass{}, fmt.Errorf("%w: pair requires exponential repairs and no spare for lumping", ErrBadConfig)
+	}
+	if pairsOut == nil {
+		return san.ReplicaClass{}, fmt.Errorf("%w: nil pairs-out counter", ErrBadConfig)
+	}
+	lambdaHW := 1 / cfg.HWMTBFHours
+	lambdaSW := 1 / cfg.SWMTBFHours
+	muHW := cfg.HWRepair.(dist.Exponential).Rate()
+	muSW := cfg.SWRepair.(dist.Exponential).Rate()
+	p := cfg.PropagationProb
+
+	goDown := func(mw san.MarkingWriter) { mw.Add(pairsOut, 1) }
+	comeUp := func(mw san.MarkingWriter) { mw.Add(pairsOut, -1) }
+
+	class := san.ReplicaClass{
+		States:  []string{pairUU, pairUH, pairUS, pairHH, pairHS, pairSS},
+		Initial: pairUU,
+	}
+	add := func(name, from, to string, rate float64, effect san.GateFunc) error {
+		if rate == 0 {
+			return nil // e.g. p == 0 removes the correlated transitions
+		}
+		d, err := dist.NewExponentialFromRate(rate)
+		if err != nil {
+			return err
+		}
+		class.Transitions = append(class.Transitions, san.ReplicaTransition{
+			Name: name, From: from, To: to, Delay: d, Effect: effect,
+		})
+		return nil
+	}
+	transitions := []struct {
+		name, from, to string
+		rate           float64
+		effect         san.GateFunc
+	}{
+		// Both servers up: either fails (x2), isolated or propagating. A
+		// propagated failure takes the partner down with the same fault kind,
+		// as in the flat correlated case.
+		{"hw_fail", pairUU, pairUH, 2 * lambdaHW * (1 - p), nil},
+		{"hw_fail_corr", pairUU, pairHH, 2 * lambdaHW * p, goDown},
+		{"sw_fail", pairUU, pairUS, 2 * lambdaSW * (1 - p), nil},
+		{"sw_fail_corr", pairUU, pairSS, 2 * lambdaSW * p, goDown},
+		// One server down: the survivor fails (propagation is a no-op when
+		// the partner is already down, so the full rate flows to one state),
+		// or the down server is repaired.
+		{"hw_fail_degraded", pairUH, pairHH, lambdaHW, goDown},
+		{"sw_fail_degraded_hw", pairUH, pairHS, lambdaSW, goDown},
+		{"hw_repair", pairUH, pairUU, muHW, nil},
+		{"hw_fail_degraded_sw", pairUS, pairHS, lambdaHW, goDown},
+		{"sw_fail_degraded", pairUS, pairSS, lambdaSW, goDown},
+		{"sw_repair", pairUS, pairUU, muSW, nil},
+		// Both servers down: each pending repair proceeds independently.
+		{"hw_repair_double", pairHH, pairUH, 2 * muHW, comeUp},
+		{"hw_repair_mixed", pairHS, pairUS, muHW, comeUp},
+		{"sw_repair_mixed", pairHS, pairUH, muSW, comeUp},
+		{"sw_repair_double", pairSS, pairUS, 2 * muSW, comeUp},
+	}
+	for _, tr := range transitions {
+		if err := add(tr.name, tr.from, tr.to, tr.rate, tr.effect); err != nil {
+			return san.ReplicaClass{}, err
+		}
+	}
+	return class, nil
+}
+
+// BuildFailoverPairsLumped adds n stochastically identical fail-over pairs
+// under prefix in lumped (counted) form — the exact strong lumping of n
+// BuildFailoverPair expansions for Lumpable configurations. Rewards that
+// read only pairsOut (availability, time-averaged pairs down) are unchanged
+// in distribution; the model costs 6 places and <= 14 activities regardless
+// of n.
+func BuildFailoverPairsLumped(m *san.Model, prefix string, n int, cfg PairConfig, pairsOut *san.Place) (*san.LumpedPlaces, error) {
+	class, err := FailoverPairClass(cfg, pairsOut)
+	if err != nil {
+		return nil, err
+	}
+	return san.ReplicateLumped(m, prefix, n, class)
+}
+
 // TransientConfig describes a source of transient errors (intermittent
 // network faults between the compute nodes and the CFS). Transient errors do
 // not take the CFS down for long, but each one kills the jobs that depended
@@ -343,5 +468,38 @@ func BuildTransientSource(m *san.Model, prefix string, cfg TransientConfig) (*Tr
 	m.AddTimedActivity(san.Qualify(prefix, "clear"), outage).
 		AddInputArc(tp.Active, 1).
 		AddOutputArc(idle, 1)
+	return tp, nil
+}
+
+// BuildTransientImpulseSource adds the lumped form of the transient-error
+// process: a single recurring source activity whose renewal interval is the
+// exponential inter-arrival plus the uniform outage window — the exact
+// inter-event law of BuildTransientSource's event activity — carrying the
+// per-event impulse rewards. The Active window place is lumped away, which
+// is reward-exact whenever nothing reads it (true for the composed CFS
+// model: transient errors kill jobs via impulses but do not enter the CFS
+// availability predicate), and halves the transient event count: one
+// completion per error instead of an event/clear pair. TransientPlaces.
+// Active is nil in this form.
+func BuildTransientImpulseSource(m *san.Model, prefix string, cfg TransientConfig) (*TransientPlaces, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	inter, err := dist.NewExponentialFromMean(1 / cfg.EventsPerHour)
+	if err != nil {
+		return nil, err
+	}
+	outage, err := dist.NewUniform(cfg.OutageLoHours, cfg.OutageHiHours)
+	if err != nil {
+		return nil, err
+	}
+	renewal, err := dist.NewSum(inter, outage)
+	if err != nil {
+		return nil, err
+	}
+	tp := &TransientPlaces{EventActivity: san.Qualify(prefix, "event")}
+	// No input arcs: a source activity is always enabled and rescheduled
+	// after every completion.
+	m.AddTimedActivity(tp.EventActivity, renewal)
 	return tp, nil
 }

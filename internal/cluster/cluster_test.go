@@ -6,9 +6,19 @@ import (
 	"testing/quick"
 
 	"repro/internal/dist"
+	"repro/internal/rareevent"
 	"repro/internal/rng"
 	"repro/internal/san"
 )
+
+func mustExp(t testing.TB, mean float64) dist.Exponential {
+	t.Helper()
+	e, err := dist.NewExponentialFromMean(mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
 
 func mustUniform(t testing.TB, lo, hi float64) dist.Uniform {
 	t.Helper()
@@ -322,5 +332,213 @@ func TestQuickPairCounterConsistency(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// lumpablePairConfig returns a fully exponential pair configuration for the
+// lumping tests.
+func lumpablePairConfig(t testing.TB, hwMTBF, swMTBF, hwRepair, swRepair, p float64) PairConfig {
+	t.Helper()
+	return PairConfig{
+		HWMTBFHours: hwMTBF, HWRepair: mustExp(t, hwRepair),
+		SWMTBFHours: swMTBF, SWRepair: mustExp(t, swRepair),
+		PropagationProb: p,
+	}
+}
+
+func TestPairLumpable(t *testing.T) {
+	good := lumpablePairConfig(t, 1000, 1000, 24, 4, 0.02)
+	if !good.Lumpable() {
+		t.Error("fully exponential pair not lumpable")
+	}
+	uniform := good
+	uniform.HWRepair = mustUniform(t, 12, 36)
+	if uniform.Lumpable() {
+		t.Error("uniform repair reported lumpable")
+	}
+	spared := good
+	spared.Spare = true
+	spared.SpareActivationHours = 8
+	if spared.Lumpable() {
+		t.Error("spared pair reported lumpable")
+	}
+	// FailoverPairClass refuses the non-lumpable forms instead of mis-lumping.
+	m := san.NewModel("guard")
+	out := m.AddPlace("out", 0)
+	if _, err := FailoverPairClass(uniform, out); err == nil {
+		t.Error("uniform repair accepted by FailoverPairClass")
+	}
+	if _, err := FailoverPairClass(good, nil); err == nil {
+		t.Error("nil pairs-out accepted")
+	}
+	if _, err := BuildFailoverPairsLumped(m, "pairs", 0, good, out); err == nil {
+		t.Error("zero pair count accepted")
+	}
+}
+
+// TestLumpedPairMatchesUniformization validates the lumped fail-over-pair
+// class against an exact transient answer: with symmetric hardware/software
+// rates, equal exponential repairs, and no propagation, the number of down
+// servers in a pair is a birth-death chain, so the probability that the pair
+// is ever fully down within the horizon is computable by uniformization.
+func TestLumpedPairMatchesUniformization(t *testing.T) {
+	const (
+		mtbf    = 2000.0 // per kind, so each server fails at 1/1000 per hour
+		repair  = 24.0
+		horizon = 8760.0
+		reps    = 2000
+	)
+	lambdaServer := 2.0 / mtbf
+	mu := 1.0 / repair
+	want, err := rareevent.BirthDeathHitProbability(
+		[]float64{2 * lambdaServer, lambdaServer},
+		[]float64{0, mu},
+		horizon,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := san.NewModel("pair-uniformization")
+	pairsOut := m.AddPlace("pairs_out", 0)
+	cfg := lumpablePairConfig(t, mtbf, mtbf, repair, repair, 0)
+	lp, err := BuildFailoverPairsLumped(m, "pair", 1, cfg, pairsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Importance: number of down servers (1 for the one-down states, 2 for
+	// the fully-down states).
+	oneDown := []*san.Place{lp.State("uh"), lp.State("us")}
+	twoDown := []*san.Place{lp.State("hh"), lp.State("hs"), lp.State("ss")}
+	importance := func(mr san.MarkingReader) float64 {
+		n := 0
+		for _, p := range oneDown {
+			n += mr.Tokens(p)
+		}
+		for _, p := range twoDown {
+			n += 2 * mr.Tokens(p)
+		}
+		return float64(n)
+	}
+
+	cm, err := san.Compile(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for rep := 0; rep < reps; rep++ {
+		sim, err := cm.NewSimulator(rng.NewStream(uint64(rep+1), "pair-bd"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		crossed := false
+		if _, err := sim.RunMonitored(horizon, &san.Monitor{
+			Importance:  importance,
+			Threshold:   2,
+			OnCross:     func(float64, *san.Snapshot) { crossed = true },
+			StopOnCross: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if crossed {
+			hits++
+		}
+	}
+	got := float64(hits) / reps
+	se := math.Sqrt(want * (1 - want) / reps)
+	if math.Abs(got-want) > 4*se {
+		t.Errorf("P(pair fully down by %v h) = %v, uniformization says %v (+/- %v)", horizon, got, want, se)
+	}
+}
+
+// TestLumpedPairsMatchFlat pins the strong-lumping equivalence on the full
+// pair class (asymmetric rates, correlated failures): n pairs built flat and
+// lumped agree on availability and the time-averaged pairs-down count within
+// pooled confidence intervals, while the lumped model size is independent of
+// n.
+func TestLumpedPairsMatchFlat(t *testing.T) {
+	const n = 6
+	cfg := lumpablePairConfig(t, 500, 700, 24, 4, 0.1)
+	opts := san.Options{Mission: 8760, Replications: 32, Seed: 13}
+
+	build := func(lumped bool) (*san.Model, []san.RewardVariable) {
+		m := san.NewModel("pairs")
+		pairsOut := m.AddPlace("pairs_out", 0)
+		if lumped {
+			if _, err := BuildFailoverPairsLumped(m, "oss", n, cfg, pairsOut); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			err := san.Replicate(m, "oss", n, func(m *san.Model, prefix string, _ int) error {
+				_, err := BuildFailoverPair(m, prefix, cfg, pairsOut)
+				return err
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m, []san.RewardVariable{
+			san.UpFraction("avail", func(mr san.MarkingReader) bool { return mr.Tokens(pairsOut) == 0 }),
+			san.TokenTimeAverage("pairs_down", pairsOut),
+		}
+	}
+
+	flatModel, flatRewards := build(false)
+	lumpedModel, lumpedRewards := build(true)
+	if fs, ls := flatModel.Stats(), lumpedModel.Stats(); ls.Activities >= fs.Activities || ls.Places >= fs.Places {
+		t.Errorf("lumped model not smaller: lumped %+v vs flat %+v", ls, fs)
+	}
+	flatStudy, err := san.RunReplications(flatModel, flatRewards, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lumpedStudy, err := san.RunReplications(lumpedModel, lumpedRewards, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, reward := range []string{"avail", "pairs_down"} {
+		fci, err := flatStudy.Interval(reward)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lci, err := lumpedStudy.Interval(reward)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled := math.Sqrt(fci.HalfWidth*fci.HalfWidth + lci.HalfWidth*lci.HalfWidth)
+		if math.Abs(fci.Mean-lci.Mean) > 3*pooled {
+			t.Errorf("%s: flat %v vs lumped %v differ beyond pooled interval %v", reward, fci.Mean, lci.Mean, pooled)
+		}
+	}
+}
+
+func TestBuildTransientImpulseSource(t *testing.T) {
+	m := san.NewModel("transient-lumped")
+	cfg := TransientConfig{EventsPerHour: 0.5, OutageLoHours: 0.05, OutageHiHours: 0.1}
+	tp, err := BuildTransientImpulseSource(m, "client_nw", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Active != nil {
+		t.Error("impulse-only source should not expose a window place")
+	}
+	if _, err := BuildTransientImpulseSource(m, "bad", TransientConfig{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	// One activity instead of two, one event per error instead of two, and
+	// the same renewal law as the flat source's event activity.
+	if got := m.Stats(); got.Activities != 1 {
+		t.Errorf("activities = %d, want 1", got.Activities)
+	}
+	res, err := san.RunReplications(m, []san.RewardVariable{
+		san.CompletionCount("events", tp.EventActivity),
+	}, san.Options{Mission: 8760, Replications: 20, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := res.Mean("events")
+	// Same expectation band as TestBuildTransientSource's flat form.
+	if events < 3800 || events > 4500 {
+		t.Errorf("transient events per year = %v, want ~4300", events)
 	}
 }

@@ -84,6 +84,11 @@ func TestCancel(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.Cancel(ev)
+	// Cancel removes the event from the heap immediately, so Pending is
+	// exact — not an upper bound over canceled residents.
+	if n := e.Pending(); n != 0 {
+		t.Errorf("Pending = %d immediately after Cancel, want 0", n)
+	}
 	e.Cancel(ev) // double-cancel is a no-op
 	e.Cancel(nil)
 	if n := e.Run(10); n != 0 {

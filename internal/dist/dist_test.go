@@ -402,3 +402,50 @@ func TestLognormalFromMomentsRecoversMoments(t *testing.T) {
 		t.Errorf("stddev = %v, want 8", math.Sqrt(l.Variance()))
 	}
 }
+
+func TestSum(t *testing.T) {
+	exp, err := NewExponentialFromMean(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := NewUniform(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := NewSum(exp, uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sum.Mean(), 12.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if sum.Name() != "sum" {
+		t.Errorf("Name = %q", sum.Name())
+	}
+	params := sum.Params()
+	if len(params) != 3 { // exponential mean + uniform lo/hi
+		t.Errorf("Params = %v, want 3 entries", params)
+	}
+	// Seeded sample mean converges to the sum of means, and every draw is
+	// at least the uniform's lower bound.
+	s := rng.NewStream(11, "sum-test")
+	total := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		x := sum.Sample(s)
+		if x < 1 {
+			t.Fatalf("sample %v below the uniform part's lower bound", x)
+		}
+		total += x
+	}
+	if mean := total / n; math.Abs(mean-12) > 0.3 {
+		t.Errorf("sample mean = %v, want ~12", mean)
+	}
+	// Fewer than two parts or nil parts are rejected.
+	if _, err := NewSum(exp); err == nil {
+		t.Error("one-part sum accepted")
+	}
+	if _, err := NewSum(exp, nil); err == nil {
+		t.Error("nil part accepted")
+	}
+}

@@ -253,7 +253,10 @@ func Table5Parameters() report.Table {
 // ---------------------------------------------------------------------------
 
 // Figure1Composition renders the replicate/join composition tree of the ABE
-// model (the paper's Figure 1) and validates that the composed model builds.
+// model (the paper's Figure 1), validates that the composed model builds,
+// and reports the model_stats view: the flat ABE model size next to the
+// lumped size of its exponential-forms variant (the representation the
+// petascale scaling points use).
 func Figure1Composition() (string, error) {
 	cfg := abe.ABE()
 	model := san.NewModel(cfg.Name)
@@ -261,7 +264,13 @@ func Figure1Composition() (string, error) {
 		return "", err
 	}
 	tree := abe.CompositionTree(cfg)
-	return fmt.Sprintf("%s\nplaces=%d activities=%d\n", tree.Render(), model.NumPlaces(), model.NumActivities()), nil
+	lumped, err := cfg.WithExponentialForms().WithLumping(true).ModelStats()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s\nplaces=%d activities=%d\nmodel_stats (exponential forms, lumped): places=%d activities=%d (flat expansion: places=%d activities=%d)\n",
+		tree.Render(), model.NumPlaces(), model.NumActivities(),
+		lumped.Places, lumped.Activities, lumped.FlatPlaces, lumped.FlatActivities), nil
 }
 
 // ---------------------------------------------------------------------------

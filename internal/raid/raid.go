@@ -78,13 +78,28 @@ func (g TierGeometry) Validate() error {
 // DiskConfig describes the disk failure/replacement process.
 type DiskConfig struct {
 	// ShapeBeta is the Weibull shape parameter (0.6-1.0 in the paper).
+	// Shape 1 makes the lifetime exponential, the memoryless regime the
+	// lumped tier representation requires.
 	ShapeBeta float64
 	// MTBFHours is the mean time between failures of one disk.
 	MTBFHours float64
-	// ReplaceHours is the deterministic replacement/rebuild time.
+	// ReplaceHours is the mean replacement/rebuild time.
 	ReplaceHours float64
+	// ExponentialReplace draws the replacement time from an exponential with
+	// mean ReplaceHours instead of the deterministic default. Required (with
+	// ShapeBeta 1) for the lumped tier representation, and the regime the
+	// closed-form TierUnavailabilityExponential baseline is exact in.
+	ExponentialReplace bool
 	// CapacityGB is the per-disk capacity used for usable-space accounting.
 	CapacityGB float64
+}
+
+// replaceDist returns the replacement-time distribution.
+func (d DiskConfig) replaceDist() (dist.Distribution, error) {
+	if d.ExponentialReplace {
+		return dist.NewExponentialFromMean(d.ReplaceHours)
+	}
+	return dist.NewDeterministic(d.ReplaceHours)
 }
 
 // AFR returns the annualized failure rate fraction implied by MTBFHours.
@@ -108,6 +123,18 @@ type ControllerConfig struct {
 	// RepairLoHours and RepairHiHours bound the uniform repair time.
 	RepairLoHours float64
 	RepairHiHours float64
+	// ExponentialRepair draws the repair time from an exponential matching
+	// the uniform window's mean instead of the uniform itself. Required for
+	// the lumped controller-pair representation (memorylessness).
+	ExponentialRepair bool
+}
+
+// repairDist returns the repair-time distribution.
+func (c ControllerConfig) repairDist() (dist.Distribution, error) {
+	if c.ExponentialRepair {
+		return dist.NewExponentialFromMean(c.RepairLoHours + (c.RepairHiHours-c.RepairLoHours)/2)
+	}
+	return dist.NewUniform(c.RepairLoHours, c.RepairHiHours)
 }
 
 // Validate checks the controller parameters.
@@ -126,6 +153,36 @@ type StorageConfig struct {
 	Geometry    TierGeometry
 	Disk        DiskConfig
 	Controller  ControllerConfig
+
+	// Lumped opts the builder into the counted (lumped) representation for
+	// every replicated family whose distributions are exponential: identical
+	// controller pairs collapse to per-state counts across all DDN units,
+	// and identical tiers collapse to a population over failed-disk counts.
+	// Families that are not memoryless (Weibull-aged disks, uniform repairs,
+	// crew-capped replacement) keep their exact flat expansion; see
+	// LumpsControllers and LumpsTiers for the per-family conditions.
+	Lumped bool
+
+	// RepairCrews, when positive, caps the number of concurrent disk
+	// replacements across all DDN units: a failed disk waits for one of the
+	// shared crew tokens before its replacement clock starts. Zero means
+	// unlimited (every disk is replaced independently, the paper's
+	// assumption).
+	RepairCrews int
+}
+
+// LumpsControllers reports whether BuildStorage will use the lumped
+// controller-pair representation: opted in and exponential repairs.
+func (c StorageConfig) LumpsControllers() bool {
+	return c.Lumped && c.Controller.ExponentialRepair
+}
+
+// LumpsTiers reports whether BuildStorage will use the lumped tier
+// representation: opted in, exponential disk lifetimes (shape 1) and
+// replacements, and no shared-crew cap (a global crew couples tiers, which
+// breaks the per-tier replica symmetry).
+func (c StorageConfig) LumpsTiers() bool {
+	return c.Lumped && c.Disk.ShapeBeta == 1 && c.Disk.ExponentialReplace && c.RepairCrews == 0
 }
 
 // DefaultDisk returns the ABE disk configuration.
@@ -169,6 +226,9 @@ func (c StorageConfig) Validate() error {
 	}
 	if err := c.Disk.Validate(); err != nil {
 		return err
+	}
+	if c.RepairCrews < 0 {
+		return fmt.Errorf("%w: negative repair crews %d", ErrBadConfig, c.RepairCrews)
 	}
 	return c.Controller.Validate()
 }
@@ -237,9 +297,21 @@ type StoragePlaces struct {
 	// for completion-count rewards (disk replacement rate).
 	ReplaceActivities []string
 	// TierFailedDisks lists the per-tier concurrently-failed-disk places in
-	// build order. The rare-event experiments derive their importance
-	// function (maximum concurrent failures in any tier) from these.
+	// build order (flat tiers only; empty when tiers are lumped). The
+	// rare-event experiments derive their importance function (maximum
+	// concurrent failures in any tier) from these.
 	TierFailedDisks []*san.Place
+	// RepairCrews is the shared crew-token place when Config.RepairCrews > 0
+	// (nil otherwise): its marking is the number of idle crews.
+	RepairCrews *san.Place
+	// LumpedTiers holds the counted tier population when the tiers were
+	// built in lumped form (nil otherwise): state "f<k>" counts tiers with
+	// exactly k disks concurrently failed.
+	LumpedTiers *san.LumpedPlaces
+	// LumpedControllers holds the counted controller-pair population when
+	// the controllers were built in lumped form (nil otherwise): state
+	// "c<k>" counts DDN units with exactly k controllers down.
+	LumpedControllers *san.LumpedPlaces
 	// Config echoes the configuration the submodel was built from.
 	Config StorageConfig
 }
@@ -253,7 +325,10 @@ func (sp *StoragePlaces) Operational(m san.MarkingReader) bool {
 // BuildStorage adds the storage subsystem (all DDN units, controllers,
 // tiers, and disks) to model under the given namespace prefix and returns
 // the shared places. It mirrors the DDN_UNITS / RAID_CONTROLLER /
-// RAID6_TIERS composition of the paper's Figure 1.
+// RAID6_TIERS composition of the paper's Figure 1. With cfg.Lumped, each
+// replicated family whose distributions are exponential is built in lumped
+// (counted) form instead of being expanded per component — exact under
+// strong lumpability, and orders of magnitude smaller at petascale.
 func BuildStorage(m *san.Model, prefix string, cfg StorageConfig) (*StoragePlaces, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -272,12 +347,18 @@ func BuildStorage(m *san.Model, prefix string, cfg StorageConfig) (*StoragePlace
 	if err != nil {
 		return nil, err
 	}
+	if cfg.RepairCrews > 0 {
+		sp.RepairCrews, err = m.AddPlaceErr(san.Qualify(prefix, "repair_crews"), cfg.RepairCrews)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	diskLife, err := dist.NewWeibullFromMTBF(cfg.Disk.ShapeBeta, cfg.Disk.MTBFHours)
 	if err != nil {
 		return nil, err
 	}
-	diskReplace, err := dist.NewDeterministic(cfg.Disk.ReplaceHours)
+	diskReplace, err := cfg.Disk.replaceDist()
 	if err != nil {
 		return nil, err
 	}
@@ -285,23 +366,147 @@ func BuildStorage(m *san.Model, prefix string, cfg StorageConfig) (*StoragePlace
 	if err != nil {
 		return nil, err
 	}
-	ctrlRepair, err := dist.NewUniform(cfg.Controller.RepairLoHours, cfg.Controller.RepairHiHours)
+	ctrlRepair, err := cfg.Controller.repairDist()
 	if err != nil {
 		return nil, err
 	}
 
-	err = san.Replicate(m, san.Qualify(prefix, "ddn"), cfg.DDNUnits, func(m *san.Model, ddnPrefix string, _ int) error {
-		if err := buildControllerPair(m, ddnPrefix, ctrlLife, ctrlRepair, sp); err != nil {
-			return err
+	lumpCtrl := cfg.LumpsControllers()
+	lumpTiers := cfg.LumpsTiers()
+	if lumpCtrl {
+		class, err := controllerPairClass(1/cfg.Controller.MTBFHours, 1/ctrlRepair.Mean(), sp)
+		if err != nil {
+			return nil, err
 		}
-		return san.Replicate(m, san.Qualify(ddnPrefix, "tier"), cfg.TiersPerDDN, func(m *san.Model, tierPrefix string, _ int) error {
-			return buildTier(m, tierPrefix, cfg.Geometry, diskLife, diskReplace, sp)
+		sp.LumpedControllers, err = san.ReplicateLumped(m, san.Qualify(prefix, "controller_pairs"), cfg.DDNUnits, class)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if lumpTiers {
+		class, names, err := tierClass(cfg.Geometry, 1/cfg.Disk.MTBFHours, 1/cfg.Disk.ReplaceHours, sp)
+		if err != nil {
+			return nil, err
+		}
+		sp.LumpedTiers, err = san.ReplicateLumped(m, san.Qualify(prefix, "tiers"), cfg.TotalTiers(), class)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			sp.ReplaceActivities = append(sp.ReplaceActivities, sp.LumpedTiers.ActivityName(name))
+		}
+	}
+	if !lumpCtrl || !lumpTiers {
+		err = san.Replicate(m, san.Qualify(prefix, "ddn"), cfg.DDNUnits, func(m *san.Model, ddnPrefix string, _ int) error {
+			if !lumpCtrl {
+				if err := buildControllerPair(m, ddnPrefix, ctrlLife, ctrlRepair, sp); err != nil {
+					return err
+				}
+			}
+			if lumpTiers {
+				return nil
+			}
+			return san.Replicate(m, san.Qualify(ddnPrefix, "tier"), cfg.TiersPerDDN, func(m *san.Model, tierPrefix string, _ int) error {
+				return buildTier(m, tierPrefix, cfg.Geometry, diskLife, diskReplace, sp)
+			})
 		})
-	})
-	if err != nil {
-		return nil, err
+		if err != nil {
+			return nil, err
+		}
 	}
 	return sp, nil
+}
+
+// controllerPairClass is the replica class of one DDN unit's redundant
+// controller pair for ReplicateLumped: local state c<k> is "k controllers
+// down", failures arrive per up controller, repairs proceed per down
+// controller, and the DDNFailed counter tracks entries into / exits from the
+// both-down state — the lumped equivalent of buildControllerPair's gates.
+func controllerPairClass(lambda, mu float64, sp *StoragePlaces) (san.ReplicaClass, error) {
+	class := san.ReplicaClass{States: []string{"c0", "c1", "c2"}, Initial: "c0"}
+	add := func(name, from, to string, rate float64, effect san.GateFunc) error {
+		d, err := dist.NewExponentialFromRate(rate)
+		if err != nil {
+			return err
+		}
+		class.Transitions = append(class.Transitions, san.ReplicaTransition{
+			Name: name, From: from, To: to, Delay: d, Effect: effect,
+		})
+		return nil
+	}
+	steps := []struct {
+		name, from, to string
+		rate           float64
+		effect         san.GateFunc
+	}{
+		{"fail_first", "c0", "c1", 2 * lambda, nil},
+		{"fail_second", "c1", "c2", lambda, func(mw san.MarkingWriter) { mw.Add(sp.DDNFailed, 1) }},
+		{"repair_second", "c2", "c1", 2 * mu, func(mw san.MarkingWriter) { mw.Add(sp.DDNFailed, -1) }},
+		{"repair_first", "c1", "c0", mu, nil},
+	}
+	for _, s := range steps {
+		if err := add(s.name, s.from, s.to, s.rate, s.effect); err != nil {
+			return san.ReplicaClass{}, err
+		}
+	}
+	return class, nil
+}
+
+// tierClass is the replica class of one RAID (m+k) tier with exponential
+// disk lifetimes and replacements for ReplicateLumped: local state f<k> is
+// "k disks concurrently failed", a birth-death chain with failure rate
+// (disks-k) x lambda and replacement rate k x mu per tier. Effects maintain
+// the shared DisksDown counter and the TiersFailed counter at the
+// parity-boundary crossings, mirroring buildTier's gates. The returned
+// transition names of the replacement steps feed the disk-replacement-count
+// reward (each aggregate completion is exactly one disk replaced).
+func tierClass(g TierGeometry, lambda, mu float64, sp *StoragePlaces) (san.ReplicaClass, []string, error) {
+	disks := g.Disks()
+	parity := g.Parity
+	class := san.ReplicaClass{Initial: "f0"}
+	for k := 0; k <= disks; k++ {
+		class.States = append(class.States, fmt.Sprintf("f%d", k))
+	}
+	var replaceNames []string
+	for k := 0; k < disks; k++ {
+		fail, err := dist.NewExponentialFromRate(float64(disks-k) * lambda)
+		if err != nil {
+			return san.ReplicaClass{}, nil, err
+		}
+		tierFails := k+1 == parity+1
+		class.Transitions = append(class.Transitions, san.ReplicaTransition{
+			Name: fmt.Sprintf("fail_from_%d", k),
+			From: fmt.Sprintf("f%d", k), To: fmt.Sprintf("f%d", k+1),
+			Delay: fail,
+			Effect: func(mw san.MarkingWriter) {
+				mw.Add(sp.DisksDown, 1)
+				if tierFails {
+					mw.Add(sp.TiersFailed, 1)
+				}
+			},
+		})
+	}
+	for k := 1; k <= disks; k++ {
+		replace, err := dist.NewExponentialFromRate(float64(k) * mu)
+		if err != nil {
+			return san.ReplicaClass{}, nil, err
+		}
+		tierRecovers := k == parity+1
+		name := fmt.Sprintf("replace_from_%d", k)
+		class.Transitions = append(class.Transitions, san.ReplicaTransition{
+			Name: name,
+			From: fmt.Sprintf("f%d", k), To: fmt.Sprintf("f%d", k-1),
+			Delay: replace,
+			Effect: func(mw san.MarkingWriter) {
+				if tierRecovers {
+					mw.Add(sp.TiersFailed, -1)
+				}
+				mw.Add(sp.DisksDown, -1)
+			},
+		})
+		replaceNames = append(replaceNames, name)
+	}
+	return class, replaceNames, nil
 }
 
 // buildControllerPair models the redundant RAID controllers of one DDN unit.
@@ -350,9 +555,13 @@ func buildControllerPair(m *san.Model, prefix string, life, repair dist.Distribu
 }
 
 // buildTier models one RAID (m+k) tier: each disk fails with a Weibull
-// lifetime and is replaced (good-as-new) after a deterministic delay. The
+// lifetime and is replaced (good-as-new) after the replacement delay. The
 // tier is considered failed while more than Parity disks are concurrently
-// down.
+// down. When the storage places carry a shared crew place, a failed disk
+// must claim a crew token before its replacement clock starts: an
+// instantaneous start activity guards on (and consumes) the crew, and the
+// timed replacement returns it — the SAN encoding of a bounded repair
+// queue. Waiting disks are served in model order at each crew release.
 func buildTier(m *san.Model, prefix string, g TierGeometry, life, replace dist.Distribution, sp *StoragePlaces) error {
 	failedDisks, err := m.AddPlaceErr(san.Qualify(prefix, "failed_disks"), 0)
 	if err != nil {
@@ -360,6 +569,7 @@ func buildTier(m *san.Model, prefix string, g TierGeometry, life, replace dist.D
 	}
 	sp.TierFailedDisks = append(sp.TierFailedDisks, failedDisks)
 	parity := g.Parity
+	crews := sp.RepairCrews
 	return san.Replicate(m, san.Qualify(prefix, "disk"), g.Disks(), func(m *san.Model, dPrefix string, _ int) error {
 		up, err := m.AddPlaceErr(san.Qualify(dPrefix, "up"), 1)
 		if err != nil {
@@ -382,20 +592,38 @@ func buildTier(m *san.Model, prefix string, g TierGeometry, life, replace dist.D
 					}
 				},
 			})
+		// The place the timed replacement draws from: the down disk directly
+		// when crews are unlimited, or a repairing place fed by the
+		// crew-claiming start activity when they are capped.
+		replaceFrom := down
+		if crews != nil {
+			repairing, err := m.AddPlaceErr(san.Qualify(dPrefix, "repairing"), 0)
+			if err != nil {
+				return err
+			}
+			m.AddInstantaneousActivity(san.Qualify(dPrefix, "start_replace")).
+				AddInputArc(down, 1).
+				AddInputArc(crews, 1).
+				AddOutputArc(repairing, 1)
+			replaceFrom = repairing
+		}
 		replaceName := san.Qualify(dPrefix, "replace")
-		m.AddTimedActivity(replaceName, replace).
-			AddInputArc(down, 1).
-			AddOutputArc(up, 1).
-			AddOutputGate(&san.OutputGate{
-				Name: san.Qualify(dPrefix, "replace_og"),
-				Transform: func(mw san.MarkingWriter) {
-					if mw.Tokens(failedDisks) == parity+1 {
-						mw.Add(sp.TiersFailed, -1)
-					}
-					mw.Add(failedDisks, -1)
-					mw.Add(sp.DisksDown, -1)
-				},
-			})
+		act := m.AddTimedActivity(replaceName, replace).
+			AddInputArc(replaceFrom, 1).
+			AddOutputArc(up, 1)
+		if crews != nil {
+			act.AddOutputArc(crews, 1)
+		}
+		act.AddOutputGate(&san.OutputGate{
+			Name: san.Qualify(dPrefix, "replace_og"),
+			Transform: func(mw san.MarkingWriter) {
+				if mw.Tokens(failedDisks) == parity+1 {
+					mw.Add(sp.TiersFailed, -1)
+				}
+				mw.Add(failedDisks, -1)
+				mw.Add(sp.DisksDown, -1)
+			},
+		})
 		sp.ReplaceActivities = append(sp.ReplaceActivities, replaceName)
 		return nil
 	})
@@ -421,8 +649,21 @@ func (sp *StoragePlaces) ReplacementCountReward(name string) san.RewardVariable 
 // rare-event splitting experiments: the maximum number of concurrently
 // failed disks in any single tier. Data loss — some tier with more than
 // Parity disks down — corresponds to importance >= Parity+1, so the natural
-// splitting levels are 1, 2, ..., Parity+1.
+// splitting levels are 1, 2, ..., Parity+1. For lumped tiers the maximum is
+// read off the per-count populations: the highest k whose f<k> counting
+// place is occupied.
 func (sp *StoragePlaces) MaxFailedDisksImportance() san.ImportanceFunc {
+	if sp.LumpedTiers != nil {
+		states := sp.LumpedTiers.StatePlaces()
+		return func(m san.MarkingReader) float64 {
+			for k := len(states) - 1; k >= 1; k-- {
+				if m.Tokens(states[k]) > 0 {
+					return float64(k)
+				}
+			}
+			return 0
+		}
+	}
 	places := sp.TierFailedDisks
 	return func(m san.MarkingReader) float64 {
 		worst := 0

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/rng"
 	"repro/internal/san"
+	"repro/internal/stats"
 )
 
 func TestTierGeometry(t *testing.T) {
@@ -425,4 +426,209 @@ func findActivities(m *san.Model, substr string) []string {
 // this package's tests.
 func newTestStream() *rng.Stream {
 	return rng.NewStream(123, "raid-test")
+}
+
+// lumpableStorage returns a fully exponential storage configuration in
+// lumped form: shape-1 disks with exponential replacement and exponential
+// controller repairs.
+func lumpableStorage(ddnUnits, tiersPerDDN int, g TierGeometry, mtbf, mttr float64) StorageConfig {
+	return StorageConfig{
+		DDNUnits:    ddnUnits,
+		TiersPerDDN: tiersPerDDN,
+		Geometry:    g,
+		Disk: DiskConfig{
+			ShapeBeta: 1, MTBFHours: mtbf, ReplaceHours: mttr,
+			ExponentialReplace: true, CapacityGB: 250,
+		},
+		Controller: ControllerConfig{
+			MTBFHours: 1e9, RepairLoHours: 12, RepairHiHours: 36,
+			ExponentialRepair: true,
+		},
+		Lumped: true,
+	}
+}
+
+func TestLumpingPredicates(t *testing.T) {
+	cfg := lumpableStorage(2, 3, TierGeometry{Data: 2, Parity: 1}, 1000, 48)
+	if !cfg.LumpsTiers() || !cfg.LumpsControllers() {
+		t.Errorf("fully exponential config should lump: tiers=%v controllers=%v", cfg.LumpsTiers(), cfg.LumpsControllers())
+	}
+	weibull := cfg
+	weibull.Disk.ShapeBeta = 0.7
+	if weibull.LumpsTiers() {
+		t.Error("Weibull-aged disks must stay flat")
+	}
+	detReplace := cfg
+	detReplace.Disk.ExponentialReplace = false
+	if detReplace.LumpsTiers() {
+		t.Error("deterministic replacement must stay flat")
+	}
+	crews := cfg
+	crews.RepairCrews = 1
+	if crews.LumpsTiers() {
+		t.Error("crew-capped replacement must stay flat (the crew couples tiers)")
+	}
+	uniformCtrl := cfg
+	uniformCtrl.Controller.ExponentialRepair = false
+	if uniformCtrl.LumpsControllers() {
+		t.Error("uniform controller repair must stay flat")
+	}
+	off := cfg
+	off.Lumped = false
+	if off.LumpsTiers() || off.LumpsControllers() {
+		t.Error("lumping without the opt-in")
+	}
+	bad := cfg
+	bad.RepairCrews = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative repair crews accepted")
+	}
+}
+
+// TestLumpedStorageMatchesClosedForm validates the lumped tier population
+// against the exact steady-state answer: for exponential lifetimes and
+// replacements the per-tier birth-death chain has the closed-form
+// unavailability of TierUnavailabilityExponential, and independent tiers
+// compose as StorageUnavailabilityExponential.
+func TestLumpedStorageMatchesClosedForm(t *testing.T) {
+	cfg := lumpableStorage(1, 4, TierGeometry{Data: 2, Parity: 1}, 1000, 48)
+	want, err := StorageUnavailabilityExponential(cfg, cfg.Disk.ReplaceHours)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := san.NewModel("lumped-closed-form")
+	sp, err := BuildStorage(m, "storage", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.LumpedTiers == nil || sp.LumpedControllers == nil {
+		t.Fatal("expected lumped tiers and controllers")
+	}
+	res, err := san.RunReplications(m, []san.RewardVariable{
+		sp.AvailabilityReward("avail"),
+	}, san.Options{Mission: 50000, Replications: 32, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 1 - res.Mean("avail")
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("lumped storage unavailability = %v, closed form says %v", got, want)
+	}
+}
+
+// TestLumpedStorageMatchesFlat pins the lumping equivalence on the storage
+// submodel: the same fully exponential configuration built flat and lumped
+// agrees on availability and replacement counts within pooled confidence
+// intervals, with a model-size reduction that grows with scale.
+func TestLumpedStorageMatchesFlat(t *testing.T) {
+	lumpedCfg := lumpableStorage(2, 4, TierGeometry{Data: 4, Parity: 1}, 2000, 24)
+	flatCfg := lumpedCfg
+	flatCfg.Lumped = false
+	opts := san.Options{Mission: 8760, Replications: 32, Seed: 11}
+
+	run := func(cfg StorageConfig) ([2]stats.Interval, *san.Model) {
+		m := san.NewModel("storage-equiv")
+		sp, err := BuildStorage(m, "storage", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := san.RunReplications(m, []san.RewardVariable{
+			sp.AvailabilityReward("avail"),
+			sp.ReplacementCountReward("replacements"),
+		}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		availCI, err := res.Interval("avail")
+		if err != nil {
+			t.Fatal(err)
+		}
+		replCI, err := res.Interval("replacements")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return [2]stats.Interval{availCI, replCI}, m
+	}
+	flat, flatModel := run(flatCfg)
+	lumped, lumpedModel := run(lumpedCfg)
+	if fs, ls := flatModel.Stats(), lumpedModel.Stats(); ls.Places >= fs.Places || ls.Activities >= fs.Activities {
+		t.Errorf("lumped storage not smaller: %+v vs %+v", ls, fs)
+	}
+	for i, name := range []string{"avail", "replacements"} {
+		pooled := math.Sqrt(flat[i].HalfWidth*flat[i].HalfWidth + lumped[i].HalfWidth*lumped[i].HalfWidth)
+		if math.Abs(flat[i].Mean-lumped[i].Mean) > 3*pooled {
+			t.Errorf("%s: flat %v vs lumped %v beyond pooled interval %v", name, flat[i].Mean, lumped[i].Mean, pooled)
+		}
+	}
+	// The analytic renewal rate anchors the replacement count in absolute
+	// terms (mean lifetime + mean replacement is distribution-free).
+	wantPerYear := float64(lumpedCfg.TotalDisks()) * 8760 / (lumpedCfg.Disk.MTBFHours + lumpedCfg.Disk.ReplaceHours)
+	if math.Abs(lumped[1].Mean-wantPerYear)/wantPerYear > 0.2 {
+		t.Errorf("lumped replacements per year = %v, want ~%v", lumped[1].Mean, wantPerYear)
+	}
+}
+
+// TestRepairCrewsCapBacklog exercises the shared-repair-crew knob: under
+// overload a single crew builds a strictly larger replacement backlog than
+// unlimited crews, and the crew place never over-allocates.
+func TestRepairCrewsCapBacklog(t *testing.T) {
+	base := StorageConfig{
+		DDNUnits:    2,
+		TiersPerDDN: 1,
+		Geometry:    TierGeometry{Data: 2, Parity: 1},
+		Disk:        DiskConfig{ShapeBeta: 1, MTBFHours: 100, ReplaceHours: 25, CapacityGB: 250},
+		Controller:  ControllerConfig{MTBFHours: 1e9, RepairLoHours: 1, RepairHiHours: 2},
+	}
+	opts := san.Options{Mission: 4000, Replications: 24, Seed: 9}
+
+	backlog := func(crews int) (float64, float64) {
+		cfg := base
+		cfg.RepairCrews = crews
+		m := san.NewModel("crews")
+		sp, err := BuildStorage(m, "storage", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (crews > 0) != (sp.RepairCrews != nil) {
+			t.Fatalf("RepairCrews place presence wrong for %d crews", crews)
+		}
+		rewards := []san.RewardVariable{
+			san.TokenTimeAverage("backlog", sp.DisksDown),
+		}
+		if sp.RepairCrews != nil {
+			// Time-averaged busy crews: initial tokens minus idle tokens. It
+			// can never exceed the crew count.
+			crewPlace := sp.RepairCrews
+			rewards = append(rewards, san.RewardVariable{
+				Name: "busy_crews",
+				Mode: san.TimeAveraged,
+				Rate: func(mr san.MarkingReader) float64 {
+					busy := crews - mr.Tokens(crewPlace)
+					if busy < 0 {
+						t.Errorf("crew place over-allocated: %d idle of %d", mr.Tokens(crewPlace), crews)
+					}
+					return float64(busy)
+				},
+			})
+		}
+		res, err := san.RunReplications(m, rewards, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		busy := 0.0
+		if sp.RepairCrews != nil {
+			busy = res.Mean("busy_crews")
+		}
+		return res.Mean("backlog"), busy
+	}
+
+	unlimited, _ := backlog(0)
+	capped, busy := backlog(1)
+	if !(capped > 1.5*unlimited) {
+		t.Errorf("1-crew backlog %v should clearly exceed unlimited backlog %v", capped, unlimited)
+	}
+	if busy <= 0 || busy > 1 {
+		t.Errorf("time-averaged busy crews = %v, want in (0, 1] for one crew", busy)
+	}
 }

@@ -186,14 +186,19 @@ func Run(model *san.Model, importance san.ImportanceFunc, opts Options) (*Estima
 		return nil, fmt.Errorf("%w: nil importance function", ErrBadOptions)
 	}
 	master := rng.NewStream(opts.Seed, "splitting-master")
-	if _, err := san.NewSimulator(model, nil, master.Split("validate")); err != nil {
+	// The "validate" split is still drawn so seed derivation is unchanged by
+	// the compile-layer refactor; validation now happens in Compile, whose
+	// result every trajectory's simulator shares.
+	_ = master.Split("validate")
+	cm, err := san.Compile(model, nil)
+	if err != nil {
 		return nil, err
 	}
 
 	est := &Estimate{Options: opts}
 	var pool []*san.Snapshot
 	for stage := range opts.Levels {
-		sr, next, err := runStage(model, importance, opts, master, stage, pool)
+		sr, next, err := runStage(cm, importance, opts, master, stage, pool)
 		if err != nil {
 			return nil, err
 		}
@@ -233,7 +238,7 @@ func Run(model *san.Model, importance san.ImportanceFunc, opts Options) (*Estima
 // aiming for Levels[stage], restarting from entries (round-robin) unless
 // this is the first stage. It returns the stage counts and the snapshot pool
 // for the next stage, in deterministic trajectory-index order.
-func runStage(model *san.Model, importance san.ImportanceFunc, opts Options, master *rng.Stream, stage int, entries []*san.Snapshot) (StageResult, []*san.Snapshot, error) {
+func runStage(cm *san.CompiledModel, importance san.ImportanceFunc, opts Options, master *rng.Stream, stage int, entries []*san.Snapshot) (StageResult, []*san.Snapshot, error) {
 	effort := opts.Effort[stage]
 	threshold := opts.Levels[stage]
 	sr := StageResult{Level: threshold, Trials: effort, PoolSize: len(entries)}
@@ -247,7 +252,7 @@ func runStage(model *san.Model, importance san.ImportanceFunc, opts Options, mas
 
 	outcomes := make([]trajectoryOutcome, effort)
 	parallelFor(effort, opts.Parallelism, func(i int) {
-		outcomes[i] = runTrajectory(model, importance, opts, stage, threshold, seeds[i], entries, i)
+		outcomes[i] = runTrajectory(cm, importance, opts, stage, threshold, seeds[i], entries, i)
 	})
 
 	var pool []*san.Snapshot
@@ -267,9 +272,9 @@ func runStage(model *san.Model, importance san.ImportanceFunc, opts Options, mas
 // runTrajectory runs one trajectory of a stage: from time 0 for the first
 // stage, otherwise restarted from its round-robin entry snapshot with a
 // fresh stream. It stops at the first crossing of the stage threshold.
-func runTrajectory(model *san.Model, importance san.ImportanceFunc, opts Options, stage int, threshold float64, seed uint64, entries []*san.Snapshot, index int) trajectoryOutcome {
+func runTrajectory(cm *san.CompiledModel, importance san.ImportanceFunc, opts Options, stage int, threshold float64, seed uint64, entries []*san.Snapshot, index int) trajectoryOutcome {
 	stream := rng.NewStream(seed, fmt.Sprintf("stage-%d-traj-%d", stage, index))
-	sim, err := san.NewSimulator(model, nil, stream)
+	sim, err := cm.NewSimulator(stream)
 	if err != nil {
 		return trajectoryOutcome{err: err}
 	}
@@ -385,7 +390,9 @@ func RunNaive(model *san.Model, importance san.ImportanceFunc, opts NaiveOptions
 		return nil, fmt.Errorf("%w: nil importance function", ErrBadOptions)
 	}
 	master := rng.NewStream(opts.Seed, "naive-master")
-	if _, err := san.NewSimulator(model, nil, master.Split("validate")); err != nil {
+	_ = master.Split("validate") // preserve historical seed derivation
+	cm, err := san.Compile(model, nil)
+	if err != nil {
 		return nil, err
 	}
 
@@ -402,7 +409,7 @@ func RunNaive(model *san.Model, importance san.ImportanceFunc, opts NaiveOptions
 		outcomes := make([]trajectoryOutcome, batch)
 		parallelFor(batch, opts.Parallelism, func(i int) {
 			stream := rng.NewStream(seeds[i], fmt.Sprintf("naive-%d", i))
-			sim, err := san.NewSimulator(model, nil, stream)
+			sim, err := cm.NewSimulator(stream)
 			if err != nil {
 				outcomes[i] = trajectoryOutcome{err: err}
 				return

@@ -75,6 +75,16 @@ type CompositionNode struct {
 	Kind     string // "join", "replicate", "atomic"
 	Count    int    // meaningful for replicate nodes
 	Children []*CompositionNode
+	// Annotation, when non-empty, is rendered after the node header — model
+	// builders use it to mark lumped replicate nodes and to attach the
+	// model_stats view to the root.
+	Annotation string
+}
+
+// Annotate sets the node annotation and returns the node for chaining.
+func (n *CompositionNode) Annotate(a string) *CompositionNode {
+	n.Annotation = a
+	return n
 }
 
 // NewJoinNode returns a join composition node.
@@ -101,13 +111,17 @@ func (n *CompositionNode) Render() string {
 
 func (n *CompositionNode) render(b *strings.Builder, depth int) {
 	b.WriteString(strings.Repeat("  ", depth))
+	suffix := ""
+	if n.Annotation != "" {
+		suffix = " " + n.Annotation
+	}
 	switch n.Kind {
 	case "replicate":
-		fmt.Fprintf(b, "Replicate(%s, n=%d)\n", n.Label, n.Count)
+		fmt.Fprintf(b, "Replicate(%s, n=%d)%s\n", n.Label, n.Count, suffix)
 	case "join":
-		fmt.Fprintf(b, "Join(%s)\n", n.Label)
+		fmt.Fprintf(b, "Join(%s)%s\n", n.Label, suffix)
 	default:
-		fmt.Fprintf(b, "SAN(%s)\n", n.Label)
+		fmt.Fprintf(b, "SAN(%s)%s\n", n.Label, suffix)
 	}
 	for _, c := range n.Children {
 		c.render(b, depth+1)

@@ -1,0 +1,212 @@
+package san
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// Lumping errors.
+var (
+	// ErrNotLumpable reports a structurally invalid replica class (bad state
+	// graph, bad replica count, duplicate names).
+	ErrNotLumpable = errors.New("san: replica class not lumpable")
+	// ErrNonExponential reports a replica-class transition whose delay is not
+	// exponential. Lumping replaces n per-replica transitions by one
+	// aggregate transition whose rate is count x rate, which is exact only
+	// for memoryless delays; anything else must be expanded flat, never
+	// silently mis-lumped.
+	ErrNonExponential = errors.New("san: replica class transition is not exponential")
+)
+
+// ReplicaTransition is one local-state transition of a replica class.
+type ReplicaTransition struct {
+	// Name labels the aggregate activity (qualified under the class prefix).
+	Name string
+	// From and To are local state names. A firing moves exactly one replica
+	// from From to To.
+	From, To string
+	// Delay is the per-replica delay distribution. It must be a
+	// dist.Exponential; ReplicateLumped rejects anything else with
+	// ErrNonExponential because the count x rate aggregation below is exact
+	// only under memorylessness.
+	Delay dist.Distribution
+	// Effect, when non-nil, is a shared-place side effect applied once per
+	// firing (e.g. incrementing an outage counter when a replica enters its
+	// failed state). It runs after the counting places have been updated, as
+	// an output gate of the aggregate activity, and must touch only shared
+	// places — per-replica identity does not exist in lumped form.
+	Effect GateFunc
+}
+
+// ReplicaClass describes a population of stochastically identical,
+// memoryless replicas: a local state space and exponential transitions
+// between local states, plus side effects on shared places. Because the
+// replicas are exchangeable and exponential, the vector of per-state counts
+// is a strongly lumped Markov chain of the flat n-fold replication: the
+// aggregate transition rate out of a state with count k is exactly k x the
+// per-replica rate. ReplicateLumped builds that counted representation.
+type ReplicaClass struct {
+	// States are the local state names, in a fixed order.
+	States []string
+	// Initial is the state every replica starts in.
+	Initial string
+	// Transitions are the local transitions.
+	Transitions []ReplicaTransition
+}
+
+// Validate checks the class structure and that every transition delay is
+// exponential.
+func (c ReplicaClass) Validate() error {
+	if len(c.States) == 0 {
+		return fmt.Errorf("%w: no states", ErrNotLumpable)
+	}
+	seen := make(map[string]bool, len(c.States))
+	for _, s := range c.States {
+		if s == "" {
+			return fmt.Errorf("%w: empty state name", ErrNotLumpable)
+		}
+		if seen[s] {
+			return fmt.Errorf("%w: duplicate state %q", ErrNotLumpable, s)
+		}
+		seen[s] = true
+	}
+	if !seen[c.Initial] {
+		return fmt.Errorf("%w: initial state %q not in state list", ErrNotLumpable, c.Initial)
+	}
+	names := make(map[string]bool, len(c.Transitions))
+	for _, tr := range c.Transitions {
+		if tr.Name == "" {
+			return fmt.Errorf("%w: transition with empty name", ErrNotLumpable)
+		}
+		if names[tr.Name] {
+			return fmt.Errorf("%w: duplicate transition %q", ErrNotLumpable, tr.Name)
+		}
+		names[tr.Name] = true
+		if !seen[tr.From] || !seen[tr.To] {
+			return fmt.Errorf("%w: transition %q connects unknown states %q -> %q", ErrNotLumpable, tr.Name, tr.From, tr.To)
+		}
+		if tr.From == tr.To {
+			return fmt.Errorf("%w: transition %q is a self-loop", ErrNotLumpable, tr.Name)
+		}
+		if _, ok := tr.Delay.(dist.Exponential); !ok {
+			name := "nil"
+			if tr.Delay != nil {
+				name = tr.Delay.Name()
+			}
+			return fmt.Errorf("%w: transition %q has %s delay", ErrNonExponential, tr.Name, name)
+		}
+	}
+	return nil
+}
+
+// LumpedPlaces exposes the counting places and activity names of a lumped
+// replica class.
+type LumpedPlaces struct {
+	// N is the replica count.
+	N int
+	// Class echoes the class specification.
+	Class ReplicaClass
+
+	states     map[string]*Place
+	stateOrder []*Place
+	activities map[string]string // transition name -> activity name
+}
+
+// State returns the counting place of the named local state, or nil.
+func (lp *LumpedPlaces) State(name string) *Place { return lp.states[name] }
+
+// StatePlaces returns the counting places in class state order.
+func (lp *LumpedPlaces) StatePlaces() []*Place { return lp.stateOrder }
+
+// ActivityName returns the qualified activity name of the named transition,
+// or "".
+func (lp *LumpedPlaces) ActivityName(transition string) string { return lp.activities[transition] }
+
+// ReplicateLumped composes n identical memoryless replicas of class under
+// prefix as one counted population: one counting place per local state
+// ("<prefix>/state/<name>", n tokens initially in the Initial state) and one
+// aggregate timed activity per transition ("<prefix>/<transition name>")
+// whose exponential rate is count(From) x the per-replica rate, re-evaluated
+// (marking-dependent delay with reactivation) whenever the count changes.
+// This is the exact strong lumping of the flat Replicate expansion: both
+// chains have identical reward processes for any reward that reads only the
+// shared places and per-state counts, but the lumped form costs
+// O(states + transitions) places and activities instead of O(n x submodel).
+//
+// Non-exponential transitions are rejected with ErrNonExponential; n <= 0 is
+// rejected rather than silently building an empty population.
+func ReplicateLumped(m *Model, prefix string, n int, class ReplicaClass) (*LumpedPlaces, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: replicate %q with count %d", ErrNotLumpable, prefix, n)
+	}
+	if err := class.Validate(); err != nil {
+		return nil, fmt.Errorf("san: replicate %q: %w", prefix, err)
+	}
+	lp := &LumpedPlaces{
+		N:          n,
+		Class:      class,
+		states:     make(map[string]*Place, len(class.States)),
+		activities: make(map[string]string, len(class.Transitions)),
+	}
+	for _, name := range class.States {
+		initial := 0
+		if name == class.Initial {
+			initial = n
+		}
+		p, err := m.AddPlaceErr(Qualify(prefix, "state/"+name), initial)
+		if err != nil {
+			return nil, err
+		}
+		lp.states[name] = p
+		lp.stateOrder = append(lp.stateOrder, p)
+	}
+	for _, tr := range class.Transitions {
+		exp := tr.Delay.(dist.Exponential) // checked by Validate
+		rate := exp.Rate()
+		from := lp.states[tr.From]
+		to := lp.states[tr.To]
+		actName := Qualify(prefix, tr.Name)
+		if m.Activity(actName) != nil {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateActivity, actName)
+		}
+		// Pre-build the aggregate delay for every possible count so the hot
+		// path allocates nothing: delays[k] has rate k x rate.
+		delays := make([]dist.Distribution, n+1)
+		for k := 1; k <= n; k++ {
+			d, err := dist.NewExponentialFromRate(rate * float64(k))
+			if err != nil {
+				return nil, err
+			}
+			delays[k] = d
+		}
+		act := m.AddTimedActivityFunc(actName, func(mr MarkingReader) dist.Distribution {
+			k := mr.Tokens(from)
+			// The activity is disabled at k == 0 (input arc below), so the
+			// clamp only guards against gate functions that mutate the count
+			// between scheduling and sampling.
+			if k < 1 {
+				k = 1
+			}
+			if k > n {
+				k = n
+			}
+			return delays[k]
+		})
+		// Reactivation makes the delay track the count: whenever the From
+		// count changes while the aggregate activity stays enabled, the
+		// pending completion is resampled at the new k x rate. For
+		// exponential delays this is exactly distribution-preserving
+		// (memorylessness), which is the same argument that makes the
+		// lumping itself exact.
+		act.SetReactivation(true)
+		act.AddInputArc(from, 1)
+		act.AddOutputArc(to, 1)
+		if tr.Effect != nil {
+			act.AddOutputGate(&OutputGate{Name: actName + "_og", Transform: tr.Effect})
+		}
+		lp.activities[tr.Name] = actName
+	}
+	return lp, nil
+}

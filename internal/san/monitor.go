@@ -112,14 +112,14 @@ func (s *Simulator) validateSnapshot(snap *Snapshot, mission float64) error {
 	if snap == nil {
 		return fmt.Errorf("san: nil snapshot")
 	}
-	if len(snap.Tokens) != s.model.NumPlaces() {
-		return fmt.Errorf("san: snapshot has %d places, model has %d", len(snap.Tokens), s.model.NumPlaces())
+	if len(snap.Tokens) != s.cm.model.NumPlaces() {
+		return fmt.Errorf("san: snapshot has %d places, model has %d", len(snap.Tokens), s.cm.model.NumPlaces())
 	}
-	if len(snap.Scheduled) != s.model.NumActivities() {
-		return fmt.Errorf("san: snapshot has %d activities, model has %d", len(snap.Scheduled), s.model.NumActivities())
+	if len(snap.Scheduled) != s.cm.model.NumActivities() {
+		return fmt.Errorf("san: snapshot has %d activities, model has %d", len(snap.Scheduled), s.cm.model.NumActivities())
 	}
-	if len(snap.RateAccum) != len(s.rewards) || len(snap.LastRate) != len(s.rewards) || len(snap.Impulses) != len(s.rewards) {
-		return fmt.Errorf("san: snapshot reward accumulators do not match %d reward variables", len(s.rewards))
+	if len(snap.RateAccum) != len(s.cm.rewards) || len(snap.LastRate) != len(s.cm.rewards) || len(snap.Impulses) != len(s.cm.rewards) {
+		return fmt.Errorf("san: snapshot reward accumulators do not match %d reward variables", len(s.cm.rewards))
 	}
 	if math.IsNaN(snap.Time) || snap.Time < 0 {
 		return fmt.Errorf("san: snapshot time %v invalid", snap.Time)
@@ -187,7 +187,7 @@ func (s *Simulator) RunFrom(snap *Snapshot, mission float64, mon *Monitor, resam
 	sort.Slice(pend, func(a, b int) bool { return pend[a].seq < pend[b].seq })
 	for _, pe := range pend {
 		t := snap.Scheduled[pe.index]
-		a := s.model.activities[pe.index]
+		a := s.cm.model.activities[pe.index]
 		if resample != nil && resample(a) {
 			// Fresh delay from the restored marking; the engine clock is
 			// already at snap.Time, so this schedules at snap.Time + delay.

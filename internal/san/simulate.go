@@ -70,25 +70,15 @@ type Result struct {
 	FinalTime float64
 }
 
-// Simulator runs terminating simulations of a SAN model.
+// Simulator runs terminating simulations of a SAN model. It is a light
+// per-worker handle over a shared, immutable CompiledModel: all structure
+// and derived indexes live on the compiled model, so constructing a
+// Simulator from one (CompiledModel.NewSimulator) is O(activities) — just
+// the per-simulator scratch — rather than the O(model) validation and index
+// derivation the package-level NewSimulator shim performs.
 type Simulator struct {
-	model   *Model
-	rewards []RewardVariable
-	stream  *rng.Stream
-
-	// dependents[placeIndex] lists activities whose enabling can change when
-	// that place's marking changes.
-	dependents [][]*Activity
-
-	// impulsesByActivity[activityIndex] lists the impulse rewards earned
-	// when that activity completes, pre-resolved from the reward variables'
-	// name-keyed maps so the hot path avoids string lookups.
-	impulsesByActivity [][]impulseBinding
-
-	// instantaneous caches the model's instantaneous activities so the
-	// vanishing-marking resolution step does not scan every activity when
-	// (as in the CFS models) there are none.
-	instantaneous []*Activity
+	cm     *CompiledModel
+	stream *rng.Stream
 
 	// seenGeneration/currentGeneration implement an allocation-free "visited
 	// this event" set over activities for reconcile.
@@ -111,44 +101,23 @@ type impulseBinding struct {
 var ErrUnstableModel = errors.New("san: instantaneous activity loop (unstable model)")
 
 // NewSimulator validates the model and reward variables and returns a
-// simulator drawing randomness from stream.
+// simulator drawing randomness from stream. It is the compatibility shim
+// over the compile layer: every call pays a full Compile. Callers that run
+// many replications (or share one model across workers) should Compile once
+// and use CompiledModel.NewSimulator instead.
 func NewSimulator(model *Model, rewards []RewardVariable, stream *rng.Stream) (*Simulator, error) {
-	if model == nil {
-		return nil, errors.New("san: nil model")
-	}
-	if stream == nil {
-		return nil, errors.New("san: nil random stream")
-	}
-	if err := model.Validate(); err != nil {
+	cm, err := Compile(model, rewards)
+	if err != nil {
 		return nil, err
 	}
-	for _, rv := range rewards {
-		if err := rv.validate(model); err != nil {
-			return nil, err
-		}
-	}
-	s := &Simulator{
-		model:          model,
-		rewards:        rewards,
-		stream:         stream,
-		maxInstFirings: 10000,
-		seenGeneration: make([]uint64, model.NumActivities()),
-	}
-	s.buildDependents()
-	s.buildImpulseIndex()
-	for _, a := range model.activities {
-		if a.kind == Instantaneous {
-			s.instantaneous = append(s.instantaneous, a)
-		}
-	}
-	return s, nil
+	return cm.NewSimulator(stream)
 }
 
 // Reset prepares the simulator to run another independent replication
 // drawing randomness from stream. All per-run state lives in the run itself,
-// so Reset only swaps the random stream; the dependency and impulse indexes —
-// which depend solely on the immutable model and reward variables — are kept,
-// making Reset+Run much cheaper than constructing a new Simulator for every
+// so Reset only swaps the random stream; the compiled model — which depends
+// solely on the immutable model and reward variables — is kept, making
+// Reset+Run much cheaper than constructing a new Simulator for every
 // replication of a large composed model.
 func (s *Simulator) Reset(stream *rng.Stream) error {
 	if stream == nil {
@@ -158,51 +127,18 @@ func (s *Simulator) Reset(stream *rng.Stream) error {
 	return nil
 }
 
-// buildImpulseIndex resolves the name-keyed impulse maps of every reward
-// variable to activity indices once, so completions do not perform string
-// map lookups.
-func (s *Simulator) buildImpulseIndex() {
-	s.impulsesByActivity = make([][]impulseBinding, s.model.NumActivities())
-	for ri, rv := range s.rewards {
-		for actName, fn := range rv.Impulses {
-			a := s.model.Activity(actName)
-			if a == nil {
-				continue // validated earlier; defensive
-			}
-			s.impulsesByActivity[a.index] = append(s.impulsesByActivity[a.index], impulseBinding{rewardIndex: ri, fn: fn})
-		}
-	}
-}
-
-// buildDependents indexes, for each place, the activities whose enabling
-// condition reads that place (through input arcs or declared gate reads).
-func (s *Simulator) buildDependents() {
-	s.dependents = make([][]*Activity, s.model.NumPlaces())
-	add := func(p *Place, a *Activity) {
-		for _, existing := range s.dependents[p.index] {
-			if existing == a {
-				return
-			}
-		}
-		s.dependents[p.index] = append(s.dependents[p.index], a)
-	}
-	for _, a := range s.model.activities {
-		for _, arc := range a.inputArcs {
-			add(arc.Place, a)
-		}
-		for _, g := range a.inputGates {
-			for _, p := range g.Reads {
-				add(p, a)
-			}
-		}
-	}
-}
+// Compiled returns the compiled model the simulator runs.
+func (s *Simulator) Compiled() *CompiledModel { return s.cm }
 
 // runState is the per-replication mutable state.
 type runState struct {
 	mark      *marking
 	engine    *des.Engine
 	scheduled []*des.Event // per-activity pending completion (nil if not scheduled)
+	// handlers caches the per-activity completion callback so rescheduling —
+	// which reactivating marking-dependent activities do on every rate
+	// change — does not allocate a fresh closure each time.
+	handlers []des.Handler
 
 	// Reward accumulation.
 	rateAccum []float64 // integral of rate reward so far
@@ -222,21 +158,35 @@ type runState struct {
 
 func (s *Simulator) newRunState() *runState {
 	return &runState{
-		mark:      newMarking(s.model.InitialMarking()),
+		mark:      newMarking(s.cm.initial),
 		engine:    des.NewEngine(),
-		scheduled: make([]*des.Event, s.model.NumActivities()),
-		rateAccum: make([]float64, len(s.rewards)),
-		lastRate:  make([]float64, len(s.rewards)),
-		impulses:  make([]float64, len(s.rewards)),
+		scheduled: make([]*des.Event, s.cm.model.NumActivities()),
+		handlers:  make([]des.Handler, s.cm.model.NumActivities()),
+		rateAccum: make([]float64, len(s.cm.rewards)),
+		lastRate:  make([]float64, len(s.cm.rewards)),
+		impulses:  make([]float64, len(s.cm.rewards)),
 	}
+}
+
+// handlerFor returns the cached completion callback of a for this run.
+func (s *Simulator) handlerFor(st *runState, a *Activity) des.Handler {
+	h := st.handlers[a.index]
+	if h == nil {
+		h = func(now float64) {
+			st.scheduled[a.index] = nil
+			s.complete(st, a, now)
+		}
+		st.handlers[a.index] = h
+	}
+	return h
 }
 
 // finishRun closes out reward integration at the mission end and assembles
 // the replication result.
 func (s *Simulator) finishRun(st *runState, mission float64) Result {
 	s.integrateRates(st, mission)
-	res := Result{Rewards: make(map[string]float64, len(s.rewards)), Events: st.engine.Fired(), FinalTime: mission}
-	for i, rv := range s.rewards {
+	res := Result{Rewards: make(map[string]float64, len(s.cm.rewards)), Events: st.engine.Fired(), FinalTime: mission}
+	for i, rv := range s.cm.rewards {
 		switch rv.Mode {
 		case TimeAveraged:
 			res.Rewards[rv.Name] = (st.rateAccum[i] + st.impulses[i]) / mission
@@ -273,7 +223,7 @@ func (s *Simulator) RunMonitored(mission float64, mon *Monitor) (Result, error) 
 	if err := s.fireInstantaneous(st); err != nil {
 		return Result{}, err
 	}
-	for _, a := range s.model.activities {
+	for _, a := range s.cm.model.activities {
 		s.refreshActivity(st, a)
 	}
 	s.snapshotRates(st)
@@ -294,7 +244,7 @@ func (s *Simulator) RunMonitored(mission float64, mon *Monitor) (Result, error) 
 // snapshotRates records the current reward rates so that the next
 // integration step uses the post-change values.
 func (s *Simulator) snapshotRates(st *runState) {
-	for i, rv := range s.rewards {
+	for i, rv := range s.cm.rewards {
 		if rv.Rate != nil {
 			st.lastRate[i] = rv.Rate(st.mark)
 		}
@@ -305,7 +255,7 @@ func (s *Simulator) snapshotRates(st *runState) {
 func (s *Simulator) integrateRates(st *runState, now float64) {
 	dt := now - st.lastTime
 	if dt > 0 {
-		for i := range s.rewards {
+		for i := range s.cm.rewards {
 			st.rateAccum[i] += st.lastRate[i] * dt
 		}
 		st.lastTime = now
@@ -340,10 +290,7 @@ func (s *Simulator) scheduleCompletion(st *runState, a *Activity) {
 	if delay < 0 || math.IsNaN(delay) {
 		delay = 0
 	}
-	ev, err := st.engine.ScheduleAfter(delay, func(now float64) {
-		st.scheduled[a.index] = nil
-		s.complete(st, a, now)
-	})
+	ev, err := st.engine.ScheduleAfter(delay, s.handlerFor(st, a))
 	if err != nil {
 		// ScheduleAfter only fails for NaN/negative times, which the clamp
 		// above prevents; treat any residual failure as a disabled activity.
@@ -356,10 +303,7 @@ func (s *Simulator) scheduleCompletion(st *runState, a *Activity) {
 // time t. It is the snapshot-restore path: the delay was already sampled by
 // the trajectory the snapshot was taken from, so no randomness is consumed.
 func (s *Simulator) scheduleCompletionAt(st *runState, a *Activity, t float64) error {
-	ev, err := st.engine.Schedule(t, func(now float64) {
-		st.scheduled[a.index] = nil
-		s.complete(st, a, now)
-	})
+	ev, err := st.engine.Schedule(t, s.handlerFor(st, a))
 	if err != nil {
 		return err
 	}
@@ -383,7 +327,7 @@ func (s *Simulator) complete(st *runState, a *Activity, now float64) {
 	s.fire(st, a)
 
 	// Earn impulse rewards for this completion.
-	for _, ib := range s.impulsesByActivity[a.index] {
+	for _, ib := range s.cm.impulsesByActivity[a.index] {
 		st.impulses[ib.rewardIndex] += ib.fn(st.mark)
 	}
 
@@ -394,12 +338,25 @@ func (s *Simulator) complete(st *runState, a *Activity, now float64) {
 		st.engine.Stop()
 		return
 	}
-	s.reconcile(st)
+	changed := len(st.mark.touched) > 0
+	s.currentGeneration++
+	gen := s.currentGeneration
+	s.reconcile(st, gen)
 	// The completed activity may still (or again) be enabled — e.g. a source
 	// activity with no input arcs — and is not necessarily covered by the
-	// dependency index, so reconcile it explicitly.
-	s.refreshActivity(st, a)
-	s.snapshotRates(st)
+	// dependency index, so reconcile it explicitly. The generation check
+	// skips the duplicate when reconcile already refreshed it, which for
+	// reactivating aggregate activities (the lumped hot path) would
+	// otherwise cancel and resample the same completion twice per firing.
+	if s.seenGeneration[a.index] != gen {
+		s.seenGeneration[a.index] = gen
+		s.refreshActivity(st, a)
+	}
+	// Reward rates are functions of the marking alone, so a completion that
+	// changed nothing (e.g. a pure impulse source) cannot have moved them.
+	if changed {
+		s.snapshotRates(st)
+	}
 	s.observe(st, now)
 }
 
@@ -510,7 +467,7 @@ func maxInt(a, b int) int {
 // none remain enabled, returning ErrUnstableModel if the loop does not
 // terminate within the configured bound.
 func (s *Simulator) fireInstantaneous(st *runState) error {
-	if len(s.instantaneous) == 0 {
+	if len(s.cm.instantaneous) == 0 {
 		return nil
 	}
 	for iter := 0; ; iter++ {
@@ -518,10 +475,10 @@ func (s *Simulator) fireInstantaneous(st *runState) error {
 			return fmt.Errorf("%w after %d firings", ErrUnstableModel, iter)
 		}
 		fired := false
-		for _, a := range s.instantaneous {
+		for _, a := range s.cm.instantaneous {
 			if a.enabled(st.mark) {
 				s.fire(st, a)
-				for _, ib := range s.impulsesByActivity[a.index] {
+				for _, ib := range s.cm.impulsesByActivity[a.index] {
 					st.impulses[ib.rewardIndex] += ib.fn(st.mark)
 				}
 				fired = true
@@ -534,15 +491,15 @@ func (s *Simulator) fireInstantaneous(st *runState) error {
 }
 
 // reconcile refreshes the scheduling state of every activity that depends on
-// a place whose marking changed during the last completion.
-func (s *Simulator) reconcile(st *runState) {
+// a place whose marking changed during the last completion, marking each as
+// visited in generation gen (allocated by the caller, who may use it to
+// avoid refreshing the completed activity twice).
+func (s *Simulator) reconcile(st *runState, gen uint64) {
 	if len(st.mark.touched) == 0 {
 		return
 	}
-	s.currentGeneration++
-	gen := s.currentGeneration
 	for _, idx := range st.mark.touched {
-		for _, a := range s.dependents[idx] {
+		for _, a := range s.cm.dependents[idx] {
 			if s.seenGeneration[a.index] != gen {
 				s.seenGeneration[a.index] = gen
 				s.refreshActivity(st, a)
@@ -714,20 +671,34 @@ func ReplicationStream(seed uint64, rep int) *rng.Stream {
 }
 
 // RunReplications runs opts.Replications independent terminating simulations
-// of the model and aggregates each reward variable across replications.
-// Replications are distributed over opts.Parallelism goroutines; each worker
-// owns a private Simulator (constructed once and Reset per replication) and a
-// per-replication random stream, so the model itself is shared read-only.
+// of the model and aggregates each reward variable across replications. The
+// model is compiled once (validation plus index derivation) and shared
+// read-only; replications are distributed over opts.Parallelism goroutines,
+// each worker owning a private Simulator (constructed once from the compiled
+// model and Reset per replication) and a per-replication random stream.
 func RunReplications(model *Model, rewards []RewardVariable, opts Options) (*StudyResult, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	opts = opts.WithDefaults()
-	// Validate once up front so workers cannot fail on validation.
-	validateStream, seeds := studySeeds(opts)
-	if _, err := NewSimulator(model, rewards, validateStream); err != nil {
+	cm, err := Compile(model, rewards)
+	if err != nil {
 		return nil, err
 	}
+	return RunReplicationsCompiled(cm, opts)
+}
+
+// RunReplicationsCompiled is RunReplications over an already-compiled model,
+// for callers (the sweep engine, benchmarks) that build the compiled model
+// once and run many studies against it.
+func RunReplicationsCompiled(cm *CompiledModel, opts Options) (*StudyResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.WithDefaults()
+	// studySeeds still reserves the historical "validate" split before
+	// drawing replication seeds, so seed derivation is unchanged by the
+	// compile-layer refactor.
+	_, seeds := studySeeds(opts)
 
 	type repJob struct {
 		rep  int
@@ -755,16 +726,14 @@ func RunReplications(model *Model, rewards []RewardVariable, opts Options) (*Stu
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// One simulator per worker: the dependency and impulse indexes
-			// depend only on the immutable model and rewards, so they are
-			// derived once and the simulator is Reset onto each replication's
-			// private stream.
+			// One simulator per worker, over the shared compiled model, Reset
+			// onto each replication's private stream.
 			var sim *Simulator
 			for job := range jobs {
 				stream := ReplicationStream(job.seed, job.rep)
 				if sim == nil {
 					var err error
-					sim, err = NewSimulator(model, rewards, stream)
+					sim, err = cm.NewSimulator(stream)
 					if err != nil {
 						outcomes[job.rep] = repOutcome{err: err}
 						continue
@@ -784,7 +753,7 @@ func RunReplications(model *Model, rewards []RewardVariable, opts Options) (*Stu
 	// stats.Summary is order-sensitive in floating point, so draining in
 	// completion order would make same-seed studies differ across
 	// Parallelism settings.
-	result := NewStudyResult(rewards, opts)
+	result := NewStudyResult(cm.rewards, opts)
 	for _, out := range outcomes {
 		if out.err != nil {
 			return nil, out.err

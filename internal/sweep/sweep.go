@@ -68,6 +68,10 @@ type PointResult struct {
 	Seed uint64
 	// Measures are the derived measures of the point's configuration.
 	Measures abe.Measures
+	// ModelStats is the model_stats view of the point: the size of the
+	// model as evaluated (lumped where the configuration opts in) next to
+	// its flat expansion.
+	ModelStats abe.ModelStats
 }
 
 // Result is the outcome of a sweep.
@@ -98,16 +102,17 @@ type pointPlan struct {
 	opts     san.Options // effective study options (Seed = the point's seed)
 	repSeeds []uint64
 
-	// The composed model is built at most once, by whichever worker first
-	// draws a job for the point, and is then shared read-only; each worker
-	// still owns its private Simulator.
+	// The composed model is built and compiled at most once, by whichever
+	// worker first draws a job for the point, and is then shared read-only;
+	// each worker still owns its private Simulator, which is cheap to derive
+	// from the compiled model.
 	buildOnce sync.Once
-	model     *san.Model
+	compiled  *san.CompiledModel
 	rewards   []san.RewardVariable
 	buildErr  error
 }
 
-// build composes the model for cfg once.
+// build composes and compiles the model for cfg once.
 func (pp *pointPlan) build(cfg abe.Config) {
 	pp.buildOnce.Do(func() {
 		model := san.NewModel(cfg.Name)
@@ -116,8 +121,14 @@ func (pp *pointPlan) build(cfg abe.Config) {
 			pp.buildErr = err
 			return
 		}
-		pp.model = model
-		pp.rewards = mp.Rewards()
+		rewards := mp.Rewards()
+		cm, err := san.Compile(model, rewards)
+		if err != nil {
+			pp.buildErr = err
+			return
+		}
+		pp.compiled = cm
+		pp.rewards = rewards
 	})
 }
 
@@ -203,7 +214,7 @@ func Run(points []Point, opts san.Options) (*Result, error) {
 				stream := san.ReplicationStream(job.seed, job.rep)
 				if cachedPoint != job.point {
 					var err error
-					sim, err = san.NewSimulator(pp.model, pp.rewards, stream)
+					sim, err = pp.compiled.NewSimulator(stream)
 					if err != nil {
 						outcomes[job.point][job.rep] = repOutcome{err: err}
 						continue
@@ -239,8 +250,27 @@ func Run(points []Point, opts san.Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sweep: point %d (%s): %w", i, pt.label(), err)
 		}
+		// The model_stats view: size as evaluated next to the flat
+		// expansion. Flat points read it off the already-built model; lumped
+		// points (in any of their forms, including a direct Storage.Lumped
+		// opt-in) pay one extra flat-expansion build for the comparison —
+		// the lumped rebuild inside ModelStats is a few dozen objects.
+		var ms abe.ModelStats
+		if pt.Config.LumpsAnything() {
+			var err error
+			ms, err = pt.Config.ModelStats()
+			if err != nil {
+				return nil, fmt.Errorf("sweep: point %d (%s) model stats: %w", i, pt.label(), err)
+			}
+		} else {
+			built := pp.compiled.Stats()
+			ms = abe.ModelStats{
+				Places: built.Places, Activities: built.Activities,
+				FlatPlaces: built.Places, FlatActivities: built.Activities,
+			}
+		}
 		result.TotalEvents += study.TotalEvents
-		result.Points = append(result.Points, PointResult{Label: pt.label(), Seed: seeds[i], Measures: m})
+		result.Points = append(result.Points, PointResult{Label: pt.label(), Seed: seeds[i], Measures: m, ModelStats: ms})
 	}
 	return result, nil
 }
@@ -274,7 +304,19 @@ type ReportPoint struct {
 	DiskReplacementsPerWeek  float64                   `json:"disk_replacements_per_week"`
 	LostJobsTransientPerYear float64                   `json:"lost_jobs_transient_per_year"`
 	LostJobsCFSPerYear       float64                   `json:"lost_jobs_cfs_per_year"`
+	ModelStats               ReportModelStats          `json:"model_stats"`
 	Intervals                map[string]ReportInterval `json:"intervals"`
+}
+
+// ReportModelStats is the model_stats view of a point: the size of the
+// model as evaluated (lumped where the configuration opted in) next to its
+// flat expansion.
+type ReportModelStats struct {
+	Places         int  `json:"places"`
+	Activities     int  `json:"activities"`
+	FlatPlaces     int  `json:"flat_places"`
+	FlatActivities int  `json:"flat_activities"`
+	Lumped         bool `json:"lumped"`
 }
 
 // ReportInterval is a confidence interval in a Report, in the same units as
@@ -313,7 +355,14 @@ func (r *Result) Report() Report {
 			DiskReplacementsPerWeek:  m.DiskReplacementsPerWeek,
 			LostJobsTransientPerYear: m.LostJobsTransientPerYear,
 			LostJobsCFSPerYear:       m.LostJobsCFSPerYear,
-			Intervals:                make(map[string]ReportInterval, len(m.Intervals)),
+			ModelStats: ReportModelStats{
+				Places:         pt.ModelStats.Places,
+				Activities:     pt.ModelStats.Activities,
+				FlatPlaces:     pt.ModelStats.FlatPlaces,
+				FlatActivities: pt.ModelStats.FlatActivities,
+				Lumped:         pt.ModelStats.Lumped,
+			},
+			Intervals: make(map[string]ReportInterval, len(m.Intervals)),
 		}
 		for name, ci := range m.Intervals {
 			p.Intervals[name] = reportInterval(ci)

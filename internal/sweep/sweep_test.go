@@ -220,3 +220,49 @@ func TestPointSeedsDeterministic(t *testing.T) {
 		t.Error("different sweep seeds produced identical point seeds")
 	}
 }
+
+func TestSweepReportModelStats(t *testing.T) {
+	// Every point carries the model_stats view; a lumped point reports a
+	// smaller evaluated model than its flat expansion, a flat point reports
+	// identical sizes.
+	points := []Point{
+		{Config: abe.ABE()},
+		{Label: "ABE lumped", Config: abe.ABE().WithExponentialForms().WithLumping(true)},
+	}
+	res, err := Run(points, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := res.Points[0].ModelStats
+	if flat.Lumped || flat.Places == 0 || flat.Places != flat.FlatPlaces || flat.Activities != flat.FlatActivities {
+		t.Errorf("flat point model_stats inconsistent: %+v", flat)
+	}
+	lumped := res.Points[1].ModelStats
+	if !lumped.Lumped || lumped.Places >= lumped.FlatPlaces || lumped.Activities >= lumped.FlatActivities {
+		t.Errorf("lumped point model_stats inconsistent: %+v", lumped)
+	}
+	if lumped.FlatPlaces != flat.FlatPlaces || lumped.FlatActivities != flat.FlatActivities {
+		t.Errorf("flat expansions differ: %+v vs %+v", lumped, flat)
+	}
+	text, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Points []struct {
+			ModelStats struct {
+				Places         int  `json:"places"`
+				Activities     int  `json:"activities"`
+				FlatPlaces     int  `json:"flat_places"`
+				FlatActivities int  `json:"flat_activities"`
+				Lumped         bool `json:"lumped"`
+			} `json:"model_stats"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(text), &doc); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if len(doc.Points) != 2 || !doc.Points[1].ModelStats.Lumped || doc.Points[1].ModelStats.Places == 0 {
+		t.Errorf("model_stats missing from JSON report: %+v", doc.Points)
+	}
+}
