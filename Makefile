@@ -2,21 +2,31 @@ GO ?= go
 # BENCHTIME tunes the bench target (e.g. BENCHTIME=1x for a CI smoke pass).
 BENCHTIME ?= 1s
 
-.PHONY: all build test race vet bench bench-all cover examples clean
+.PHONY: all build lint test race vet bench bench-all cover examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
+# Static analysis: the determinism contract (no wall clock, no global rand,
+# no unordered map iteration in the deterministic packages) and the model
+# invariants (no mutation after Compile, options validated before use, no
+# discarded errors). Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/sanlint ./...
+
+# -shuffle=on randomizes test order so inter-test state dependencies cannot
+# hide; the determinism contract means every test must pass in any order.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Race-check the packages with concurrent replication runners, the sharded
-# sweep engine, the snapshot/clone machinery of the rare-event engine, and
-# the calibration pipeline feeding the sweep (paper_full).
+# sweep engine, the snapshot/clone machinery of the rare-event engine, the
+# calibration pipeline feeding the sweep (paper_full), the discrete-event
+# core, the checkpoint/restore machinery, and the experiment drivers.
 race:
-	$(GO) test -race ./internal/san/... ./internal/sweep/... ./internal/rareevent/... ./internal/calibrate/...
+	$(GO) test -race ./internal/san/... ./internal/sweep/... ./internal/rareevent/... ./internal/calibrate/... ./internal/des/... ./internal/checkpoint/... ./internal/experiments/...
 
 vet:
 	$(GO) vet ./...

@@ -58,6 +58,7 @@ func main() {
 		parallelism  = flag.Int("parallelism", 0, "simulation worker goroutines (0 = GOMAXPROCS; results are bit-identical across settings)")
 		quick        = flag.Bool("quick", false, "fewer replications and sweep points")
 		jsonOut      = flag.Bool("json", false, "emit machine-readable JSON instead of rendered text")
+		analyze      = flag.Bool("analyze", false, "statically analyze the experiment's model configurations and include the result (text, or an \"analysis\" JSON section)")
 	)
 	flag.Parse()
 
@@ -93,10 +94,23 @@ func main() {
 		if err != nil {
 			log.Fatalf("experiment %q: %v", n, err)
 		}
+		var analysis *experiments.ExperimentAnalysis
+		if *analyze {
+			analysis, err = experiments.AnalyzeExperiment(n, opts)
+			if err != nil {
+				log.Fatalf("experiment %q: %v", n, err)
+			}
+		}
 		if *jsonOut {
 			doc, err := artifact.JSON()
 			if err != nil {
 				log.Fatalf("experiment %q: encoding JSON: %v", n, err)
+			}
+			if analysis != nil {
+				doc, err = withAnalysis(doc, analysis)
+				if err != nil {
+					log.Fatalf("experiment %q: %v", n, err)
+				}
 			}
 			if len(names) == 1 {
 				fmt.Print(doc)
@@ -106,6 +120,9 @@ func main() {
 			continue
 		}
 		fmt.Printf("### %s\n\n%s\n", n, artifact.Render())
+		if analysis != nil {
+			fmt.Printf("%s\n", analysis.Render())
+		}
 	}
 	if *jsonOut {
 		out, err := json.MarshalIndent(envelope, "", "  ")
@@ -114,4 +131,25 @@ func main() {
 		}
 		fmt.Println(string(out))
 	}
+}
+
+// withAnalysis splices an "analysis" section into an experiment's JSON
+// report document. Decoding into a key-indexed map and re-encoding keeps
+// the output one valid document with sorted keys, so reports stay
+// byte-identical for identical inputs.
+func withAnalysis(doc string, analysis *experiments.ExperimentAnalysis) (string, error) {
+	var report map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(doc), &report); err != nil {
+		return "", fmt.Errorf("parsing report for analysis section: %w", err)
+	}
+	raw, err := json.Marshal(analysis)
+	if err != nil {
+		return "", fmt.Errorf("encoding analysis section: %w", err)
+	}
+	report["analysis"] = raw
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
 }

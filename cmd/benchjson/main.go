@@ -75,7 +75,9 @@ func main() {
 	}
 	text = append(text, '\n')
 	if *out == "" {
-		os.Stdout.Write(text)
+		if _, err := os.Stdout.Write(text); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, text, 0o644); err != nil {

@@ -1,0 +1,57 @@
+// Command sanlint statically checks this module against the determinism
+// contract and the model-construction invariants: no nondeterminism sources
+// in the deterministic packages, no builder mutations after Compile, no raw
+// san.Options field reads before validation, no discarded errors. It prints
+// one line per finding and exits 1 when any exist, which is how `make lint`
+// gates CI before the tests run.
+//
+// Usage: sanlint [packages] — package arguments are accepted for
+// familiarity (`sanlint ./...`) but the whole module rooted at the nearest
+// go.mod is always analyzed; partial certification is not meaningful.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sanlint:", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(lint.DefaultConfig(root))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sanlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "sanlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks upward from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -382,6 +382,11 @@ func Build(m *san.Model, cfg Config) (*ModelPlaces, error) {
 	// a fully exponential pair (ExponentialRepairs, no spare), each group is
 	// one counted population; otherwise every pair expands flat.
 	buildPairs := func(prefix string, n int) error {
+		fam := pairCfg.Lumpability()
+		fam.Family = prefix
+		fam.Count = n
+		fam.Lumped = cfg.Lumped && fam.Lumpable
+		m.DeclareFamily(fam)
 		if cfg.Lumped && pairCfg.Lumpable() {
 			_, err := cluster.BuildFailoverPairsLumped(m, prefix, n, pairCfg, mp.OSSPairsOut)
 			return err
@@ -428,6 +433,7 @@ func Build(m *san.Model, cfg Config) (*ModelPlaces, error) {
 		OutageLoHours: cfg.Workload.TransientOutageLoHours,
 		OutageHiHours: cfg.Workload.TransientOutageHiHours,
 	}
+	m.DeclareFamily(transientVerdict(cfg))
 	if cfg.Lumped {
 		mp.Transient, err = cluster.BuildTransientImpulseSource(m, "client/network", transientCfg)
 	} else {
@@ -437,6 +443,21 @@ func Build(m *san.Model, cfg Config) (*ModelPlaces, error) {
 		return nil, err
 	}
 	return mp, nil
+}
+
+// transientVerdict is the declared verdict of the client transient source:
+// not a replica population, but its impulse-only collapse (enabled whenever
+// Config.Lumped is set) is exact for the same reason lumping is — no reward
+// or enabling condition reads the on/off window place, so replacing the
+// two-activity on/off source with one impulse-carrying renewal activity
+// preserves every measure.
+func transientVerdict(cfg Config) san.LumpabilityVerdict {
+	return san.LumpabilityVerdict{
+		Family:   "client/network",
+		Count:    1,
+		Lumped:   cfg.Lumped,
+		Lumpable: true,
+	}
 }
 
 // pairConfig materializes the OSS fail-over-pair configuration, choosing
@@ -484,6 +505,27 @@ func (c Config) LumpsOSSPairs() bool {
 	}
 	pc, err := c.pairConfig()
 	return err == nil && pc.Lumpable()
+}
+
+// LumpabilityVerdicts returns the derived lumpability verdicts of the four
+// replicated (or collapsible) families of the composed model, in a fixed
+// order: OSS fail-over pairs, RAID controller pairs, RAID tiers, and the
+// client transient source. Each verdict carries the reasons lumping fails
+// when it does; the boolean predicates (LumpsOSSPairs and the raid Lumps*
+// methods) are projections of the same derivations, so the two views cannot
+// drift apart.
+func (c Config) LumpabilityVerdicts() []san.LumpabilityVerdict {
+	oss := san.LumpabilityVerdict{Family: "oss_pairs", Count: c.TotalOSSPairs()}
+	if pc, err := c.pairConfig(); err != nil {
+		oss.Reasons = []string{san.ReasonNonExponential + ": pair configuration invalid: " + err.Error()}
+	} else {
+		v := pc.Lumpability()
+		oss.Lumpable = v.Lumpable
+		oss.Reasons = v.Reasons
+	}
+	oss.Lumped = c.Lumped && oss.Lumpable
+	s := c.storageConfig()
+	return []san.LumpabilityVerdict{oss, s.ControllerLumpability(), s.TierLumpability(), transientVerdict(c)}
 }
 
 // LumpsAnything reports whether Build composes any part of the model in

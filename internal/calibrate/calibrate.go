@@ -120,8 +120,11 @@ func CalibrateWith(logs *loggen.Logs, population int, base abe.Config) (*Calibra
 		return nil, fmt.Errorf("calibrate: disk analysis: %w", err)
 	}
 	// Mount failures only inform the synthetic-log round trip (LogConfig);
-	// their absence is not an error for model calibration.
-	cal.Mounts, _ = loganalysis.AnalyzeMountFailures(logs.Compute)
+	// their absence is not an error for model calibration, so a failed
+	// analysis leaves the zero report rather than aborting.
+	if mounts, merr := loganalysis.AnalyzeMountFailures(logs.Compute); merr == nil {
+		cal.Mounts = mounts
+	}
 	cal.Rates = loganalysis.DeriveRatesFromReports(cal.Outages, cal.Jobs, cal.Disks)
 
 	// Fitted distributions: survival fit -> Weibull lifetime, measured

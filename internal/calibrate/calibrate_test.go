@@ -273,3 +273,29 @@ func TestCalibrationRoundTrip(t *testing.T) {
 		t.Errorf("disk shape drifted: %v -> %v", in.DiskWeibullShape, out.DiskWeibullShape)
 	}
 }
+
+// TestCalibrateWithoutMountFailures pins the explicit handling of a failed
+// mount-failure analysis: mount failures only feed the synthetic-log round
+// trip, so compute logs without them (or an analysis error) must leave
+// Mounts empty without aborting the calibration.
+func TestCalibrateWithoutMountFailures(t *testing.T) {
+	cfg := loggen.ABEConfig()
+	logs, err := loggen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := logs.Compute[:0:0]
+	for _, e := range logs.Compute {
+		if e.Kind != loggen.MountFailure {
+			kept = append(kept, e)
+		}
+	}
+	logs.Compute = kept
+	cal, err := Calibrate(logs, cfg.Disks)
+	if err != nil {
+		t.Fatalf("calibration must survive missing mount-failure events: %v", err)
+	}
+	if len(cal.Mounts) != 0 {
+		t.Fatalf("expected no mount-failure days, got %d", len(cal.Mounts))
+	}
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/san"
+)
+
+// TestPairLumpabilityDerivation: the Lumpable predicate is a projection of
+// the derived verdict, and the verdict names why each non-memoryless pair
+// stays flat.
+func TestPairLumpabilityDerivation(t *testing.T) {
+	expo := PairConfig{
+		HWMTBFHours: 1440, HWRepair: mustExp(t, 24),
+		SWMTBFHours: 1440, SWRepair: mustExp(t, 4),
+		PropagationProb: 0.015,
+	}
+	cases := []struct {
+		name     string
+		cfg      func() PairConfig
+		lumpable bool
+		reason   string
+	}{
+		{"exponential", func() PairConfig { return expo }, true, ""},
+		{"uniform-hw", func() PairConfig {
+			c := expo
+			c.HWRepair = mustUniform(t, 12, 36)
+			return c
+		}, false, san.ReasonNonExponential},
+		{"uniform-sw", func() PairConfig {
+			c := expo
+			c.SWRepair = mustUniform(t, 2, 6)
+			return c
+		}, false, san.ReasonNonExponential},
+		{"deterministic-sw", func() PairConfig {
+			c := expo
+			c.SWRepair = mustDet(t, 4)
+			return c
+		}, false, san.ReasonAgedState},
+		{"spare-timer", func() PairConfig {
+			c := expo
+			c.Spare = true
+			c.SpareActivationHours = 0.5
+			return c
+		}, false, san.ReasonAgedState},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg()
+			v := cfg.Lumpability()
+			if v.Lumpable != tc.lumpable {
+				t.Fatalf("Lumpable=%v, want %v (%+v)", v.Lumpable, tc.lumpable, v)
+			}
+			if cfg.Lumpable() != v.Lumpable {
+				t.Fatal("Lumpable() predicate disagrees with verdict")
+			}
+			if tc.lumpable {
+				if len(v.Reasons) != 0 {
+					t.Fatalf("lumpable pair has reasons %v", v.Reasons)
+				}
+				return
+			}
+			found := false
+			for _, r := range v.Reasons {
+				if strings.HasPrefix(r, tc.reason) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("reasons %v missing %q", v.Reasons, tc.reason)
+			}
+		})
+	}
+}

@@ -286,18 +286,36 @@ func BuildFailoverPair(m *san.Model, prefix string, cfg PairConfig, pairsOut *sa
 // Lumped fail-over pairs
 // ---------------------------------------------------------------------------
 
-// Lumpable reports whether the pair configuration admits exact strong
-// lumping: every distribution the pair draws from must be exponential
-// (failures are by construction; both repairs must be), and the standby
-// spare must be disabled — its deterministic activation delay is not
-// memoryless, so spared pairs always expand flat.
-func (c PairConfig) Lumpable() bool {
-	if c.Spare {
-		return false
+// Lumpability derives the fail-over-pair lumpability verdict from the
+// distributions the pair actually draws from: failures are exponential by
+// construction, so the verdict turns on the two repair distributions and on
+// the standby spare, whose deterministic activation delay is an aged-state
+// timer. The verdict is per pair (Count 1, Lumped false); composition layers
+// that replicate pairs override Family, Count, and Lumped.
+func (c PairConfig) Lumpability() san.LumpabilityVerdict {
+	delays := []san.NamedDelay{
+		{Label: "hw_repair", Delay: c.HWRepair},
+		{Label: "sw_repair", Delay: c.SWRepair},
 	}
-	_, hwOK := c.HWRepair.(dist.Exponential)
-	_, swOK := c.SWRepair.(dist.Exponential)
-	return hwOK && swOK
+	var structural []string
+	if c.Spare {
+		if d, err := dist.NewDeterministic(c.SpareActivationHours); err == nil {
+			delays = append(delays, san.NamedDelay{Label: "spare_activation", Delay: d})
+		} else {
+			structural = append(structural, san.ReasonAgedState+": spare activation timer")
+		}
+	}
+	return san.DeriveLumpability("failover_pair", 1, false, delays, structural...)
+}
+
+// Lumpable reports whether the pair configuration admits exact strong
+// lumping. It is the boolean projection of Lumpability, so the predicate
+// cannot drift from the derived verdict: every distribution the pair draws
+// from must be memoryless (failures are by construction; both repairs must
+// be), and the standby spare must be disabled — its deterministic activation
+// delay is not, so spared pairs always expand flat.
+func (c PairConfig) Lumpable() bool {
+	return c.Lumpability().Lumpable
 }
 
 // Fail-over pair local states: each letter is one server, u = up, h = down

@@ -56,7 +56,8 @@ func (Sum) Name() string { return "sum" }
 func (d Sum) Params() map[string]float64 {
 	out := make(map[string]float64)
 	for i, p := range d.parts {
-		for k, v := range p.Params() {
+		// Map-to-map merge; consumers (Describe, reports) sort the keys.
+		for k, v := range p.Params() { //lint:sorted
 			out[fmt.Sprintf("%d_%s_%s", i, p.Name(), k)] = v
 		}
 	}

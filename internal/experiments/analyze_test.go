@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzeFigure4: every sweep point reports its lumpability verdicts,
+// each distinct design variant carries one structural report, and the whole
+// study analyzes clean.
+func TestAnalyzeFigure4(t *testing.T) {
+	a, err := AnalyzeExperiment("figure4", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Clean {
+		t.Fatalf("figure4 configurations must analyze clean:\n%s", a.Render())
+	}
+	factors := Figure4ScaleFactors(true)
+	if len(a.Configs) != 2*len(factors) {
+		t.Fatalf("got %d configs, want %d (base+spare per factor)", len(a.Configs), 2*len(factors))
+	}
+	var reports int
+	for _, ca := range a.Configs {
+		if len(ca.Verdicts) != 4 {
+			t.Fatalf("config %q has %d verdicts, want 4", ca.Label, len(ca.Verdicts))
+		}
+		if ca.Report != nil {
+			reports++
+			if !ca.Report.Clean {
+				t.Fatalf("config %q structural report not clean:\n%s", ca.Label, ca.Report.Render())
+			}
+		}
+	}
+	if reports != 2 {
+		t.Fatalf("got %d structural reports, want 2 (base and spare variants)", reports)
+	}
+	// The first base and spare points carry the reports (reference scale).
+	if a.Configs[0].Report == nil || a.Configs[1].Report == nil {
+		t.Fatal("reference-scale points must carry the structural reports")
+	}
+	if a.Configs[2].Report != nil {
+		t.Fatal("scaled repeats must omit the structural report")
+	}
+}
+
+// TestAnalyzeDefaultExperiment: experiments without their own sweep configs
+// are analyzed against the ABE reference composition, flat and lumped.
+func TestAnalyzeDefaultExperiment(t *testing.T) {
+	a, err := AnalyzeExperiment("table1", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Configs) != 2 || !a.Clean {
+		t.Fatalf("unexpected default analysis: %+v", a)
+	}
+	for _, ca := range a.Configs {
+		if ca.Report == nil {
+			t.Fatalf("config %q missing structural report", ca.Label)
+		}
+	}
+}
+
+// TestAnalysisJSONAndRender: the analysis marshals with the documented keys
+// and renders the family verdict lines abesim prints.
+func TestAnalysisJSONAndRender(t *testing.T) {
+	a, err := AnalyzeExperiment("figure4", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"experiment"`, `"configs"`, `"clean"`, `"verdicts"`, `"report"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Fatalf("JSON missing %s", key)
+		}
+	}
+	text := a.Render()
+	for _, want := range []string{"static analysis (figure4):", "families:", "oss_pairs", "clean: true"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("render missing %q:\n%s", want, text)
+		}
+	}
+}

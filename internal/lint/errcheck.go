@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errCheck flags discarded error returns in non-test code: bare call
+// statements whose result includes an error, and blank-identifier
+// assignments of an error result. Formatting to an in-memory sink (fmt
+// printers, strings.Builder, bytes.Buffer) cannot fail and is allowed.
+func errCheck(p *Package) []Finding {
+	var findings []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				// A deferred/concurrent call's result is unobtainable;
+				// flagging it would only force noise like `defer func() {
+				// _ = f() }()`.
+				return false
+			case *ast.ExprStmt:
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok || !returnsError(p.Info, call) || allowlisted(p.Info, call) {
+					return true
+				}
+				findings = append(findings, Finding{
+					Pos:     p.Fset.Position(call.Pos()),
+					Rule:    "errcheck",
+					Message: "error return discarded; handle it or make the impossibility explicit",
+				})
+			case *ast.AssignStmt:
+				findings = append(findings, blankErrAssigns(p, stmt)...)
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// blankErrAssigns flags `x, _ := f()` where the blank slot is f's error.
+func blankErrAssigns(p *Package, stmt *ast.AssignStmt) []Finding {
+	if len(stmt.Rhs) != 1 {
+		return nil
+	}
+	call, ok := stmt.Rhs[0].(*ast.CallExpr)
+	if !ok || allowlisted(p.Info, call) {
+		return nil
+	}
+	tv, ok := p.Info.Types[call]
+	if !ok {
+		return nil
+	}
+	tuple, ok := tv.Type.(*types.Tuple)
+	if !ok || tuple.Len() != len(stmt.Lhs) {
+		return nil
+	}
+	var findings []Finding
+	for i, lhs := range stmt.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" || !isErrorType(tuple.At(i).Type()) {
+			continue
+		}
+		findings = append(findings, Finding{
+			Pos:     p.Fset.Position(id.Pos()),
+			Rule:    "errcheck",
+			Message: "error result assigned to blank identifier; handle it or make the impossibility explicit",
+		})
+	}
+	return findings
+}
+
+// returnsError reports whether the call's result is or includes an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// allowlisted reports calls whose error return is unconditionally nil: the
+// fmt print family and writes to in-memory string/byte sinks.
+func allowlisted(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	if f.Pkg().Path() == "fmt" && (strings.HasPrefix(f.Name(), "Print") || strings.HasPrefix(f.Name(), "Fprint")) {
+		return true
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}

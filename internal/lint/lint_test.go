@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fixtureConfig lints the miniature module under testdata, which carries a
+// stand-in san package so every rule can resolve its targets.
+func fixtureConfig(t *testing.T) Config {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Root:              root,
+		ModulePath:        "fixture",
+		DeterministicPkgs: []string{"fixture/san", "fixture/det"},
+		SANPath:           "fixture/san",
+	}
+}
+
+// wantMarkers scans the fixture sources for `// want <rule>` comments and
+// returns the expected findings as "file:line rule" keys.
+func wantMarkers(t *testing.T, root string) map[string]bool {
+	t.Helper()
+	want := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			text := sc.Text()
+			idx := strings.Index(text, "// want ")
+			if idx < 0 {
+				continue
+			}
+			rule := strings.TrimSpace(text[idx+len("// want "):])
+			want[fmt.Sprintf("%s:%d %s", path, line, rule)] = true
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestFixtureFindings runs every rule over the fixture module and requires
+// the findings to match the `// want` markers exactly — every marked line
+// is found, and nothing unmarked is flagged.
+func TestFixtureFindings(t *testing.T) {
+	cfg := fixtureConfig(t)
+	findings, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, f := range findings {
+		got[fmt.Sprintf("%s:%d %s", f.Pos.Filename, f.Pos.Line, f.Rule)] = true
+	}
+	want := wantMarkers(t, cfg.Root)
+	if len(want) == 0 {
+		t.Fatal("no want markers found in fixtures")
+	}
+	var missing, extra []string
+	for k := range want {
+		if !got[k] {
+			missing = append(missing, k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	if len(missing) > 0 || len(extra) > 0 {
+		t.Fatalf("finding mismatch\nmissing (marked but not reported):\n  %s\nextra (reported but not marked):\n  %s",
+			strings.Join(missing, "\n  "), strings.Join(extra, "\n  "))
+	}
+}
+
+// TestFindingsSortedAndRendered pins the output order and line format the
+// sanlint command prints.
+func TestFindingsSortedAndRendered(t *testing.T) {
+	findings, err := Run(fixtureConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) < 2 {
+		t.Fatalf("expected several findings, got %d", len(findings))
+	}
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.Pos.Filename > b.Pos.Filename || (a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Fatalf("findings out of order: %s before %s", a, b)
+		}
+	}
+	line := findings[0].String()
+	if !strings.Contains(line, ".go:") || strings.Count(line, ": ") < 2 {
+		t.Fatalf("unexpected rendering %q", line)
+	}
+}
+
+// TestRepoIsLintClean certifies the repository itself: the violations
+// sanlint surfaced when it was introduced are fixed or annotated, and stay
+// that way.
+func TestRepoIsLintClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found: %v", err)
+	}
+	findings, err := Run(DefaultConfig(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) > 0 {
+		var lines []string
+		for _, f := range findings {
+			lines = append(lines, f.String())
+		}
+		t.Fatalf("repository is not lint-clean:\n  %s", strings.Join(lines, "\n  "))
+	}
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// noDeterminism enforces the determinism contract inside the deterministic
+// package set: no wall-clock reads, no global math/rand generators, and no
+// map iteration in unspecified order. A map range is allowed when it is
+// annotated //lint:sorted (the author asserts order cannot leak into
+// output) or when it only collects keys that the same function later sorts.
+func noDeterminism(p *Package) []Finding {
+	var findings []Finding
+	for _, file := range p.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				findings = append(findings, Finding{
+					Pos:     p.Fset.Position(imp.Pos()),
+					Rule:    "nodeterminism",
+					Message: "import of " + path + " in a deterministic package; draw randomness from the seeded rng streams",
+				})
+			}
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			findings = append(findings, noDeterminismFunc(p, fd)...)
+		}
+	}
+	return findings
+}
+
+func noDeterminismFunc(p *Package, fd *ast.FuncDecl) []Finding {
+	var findings []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if f := calleeFunc(p.Info, node); f != nil && f.Pkg() != nil && f.Pkg().Path() == "time" && f.Name() == "Now" {
+				findings = append(findings, Finding{
+					Pos:     p.Fset.Position(node.Pos()),
+					Rule:    "nodeterminism",
+					Message: "time.Now in a deterministic package; simulated time must come from the event clock",
+				})
+			}
+		case *ast.RangeStmt:
+			tv, ok := p.Info.Types[node.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if p.sortedAnnotated(node.Pos()) || keyCollectThenSort(p, fd, node) {
+				return true
+			}
+			findings = append(findings, Finding{
+				Pos:     p.Fset.Position(node.Pos()),
+				Rule:    "nodeterminism",
+				Message: "map iteration order is unspecified; sort the keys first or annotate //lint:sorted with a justification",
+			})
+		}
+		return true
+	})
+	return findings
+}
+
+// keyCollectThenSort recognizes the canonical deterministic idiom
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys)
+//
+// the range body is a single append of the range key to a slice, and the
+// enclosing function later passes that slice to a sorting call.
+func keyCollectThenSort(p *Package, fd *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || rng.Value != nil || rng.Body == nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	slice, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	dst, ok := call.Args[0].(*ast.Ident)
+	if !ok || dst.Name != slice.Name {
+		return false
+	}
+	if arg, ok := call.Args[1].(*ast.Ident); !ok || arg.Name != key.Name {
+		return false
+	}
+	sliceObj := p.Info.ObjectOf(slice)
+	if sliceObj == nil {
+		return false
+	}
+	// Look for a later sorting call taking the collected slice.
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		name := ""
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+			if base, ok := fun.X.(*ast.Ident); ok {
+				name = base.Name + "." + name
+			}
+		}
+		if !strings.Contains(strings.ToLower(name), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && p.Info.ObjectOf(id) == sliceObj {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// optionsHygiene enforces that exported functions normalize a san.Options
+// parameter — opts.Validate() or opts.WithDefaults() — before reading any
+// of its fields. Reading a raw field first means zero-value defaults (no
+// replications, zero confidence) silently steer a study. Methods declared
+// on san.Options itself are exempt: they are the normalization.
+func optionsHygiene(p *Package, sanPath string) []Finding {
+	var findings []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if fd.Recv != nil && len(fd.Recv.List) == 1 && isOptionsType(p.Info.Types[fd.Recv.List[0].Type].Type, sanPath) {
+				continue
+			}
+			if fd.Type.Params == nil {
+				continue
+			}
+			for _, field := range fd.Type.Params.List {
+				if !isOptionsType(p.Info.Types[field.Type].Type, sanPath) {
+					continue
+				}
+				for _, name := range field.Names {
+					obj := p.Info.ObjectOf(name)
+					if obj == nil {
+						continue
+					}
+					findings = append(findings, optionsParamHygiene(p, fd, obj)...)
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// isOptionsType reports whether t is san.Options or *san.Options.
+func isOptionsType(t types.Type, sanPath string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == sanPath && obj.Name() == "Options"
+}
+
+// optionsParamHygiene flags the first field read of the options parameter
+// if it precedes every Validate/WithDefaults call on it.
+func optionsParamHygiene(p *Package, fd *ast.FuncDecl, param types.Object) []Finding {
+	var firstRead *ast.SelectorExpr
+	var normalizedAt token.Pos = -1
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || p.Info.ObjectOf(base) != param {
+			return true
+		}
+		if s := p.Info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+			if firstRead == nil || sel.Pos() < firstRead.Pos() {
+				firstRead = sel
+			}
+			return true
+		}
+		if sel.Sel.Name == "Validate" || sel.Sel.Name == "WithDefaults" {
+			if normalizedAt < 0 || sel.Pos() < normalizedAt {
+				normalizedAt = sel.Pos()
+			}
+		}
+		return true
+	})
+	if firstRead == nil || (normalizedAt >= 0 && normalizedAt < firstRead.Pos()) {
+		return nil
+	}
+	return []Finding{{
+		Pos:     p.Fset.Position(firstRead.Pos()),
+		Rule:    "optionshygiene",
+		Message: "field " + firstRead.Sel.Name + " of san.Options read before Validate/WithDefaults; normalize the options first",
+	}}
+}

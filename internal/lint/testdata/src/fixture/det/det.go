@@ -1,0 +1,59 @@
+// Package det exercises the nodeterminism rule: it is listed in the
+// fixture's deterministic package set, so wall-clock reads, global
+// math/rand, and unordered map iteration are violations here.
+package det
+
+import (
+	"math/rand" // want nodeterminism
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() string {
+	return time.Now().String() // want nodeterminism
+}
+
+// Pick sums map values in unspecified order and draws from the global
+// generator.
+func Pick(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want nodeterminism
+		total += v
+	}
+	return total + rand.Intn(3)
+}
+
+// SortedKeys uses the collect-then-sort idiom, which the rule recognizes
+// without an annotation.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Union is order-insensitive by construction, so the range is annotated.
+func Union(a, b map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	// Set union: insertion order cannot be observed.
+	for k := range a { //lint:sorted
+		out[k] = true
+	}
+	//lint:sorted set union again, annotation on the line above
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// SliceRange iterates a slice, which is ordered and always fine.
+func SliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,42 @@
+// Package errs exercises the errcheck rule.
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, nil }
+
+// Discard drops the error of a bare call statement.
+func Discard() {
+	fail() // want errcheck
+}
+
+// Blank discards the error half of a pair.
+func Blank() int {
+	n, _ := pair() // want errcheck
+	return n
+}
+
+// Handled checks everything: allowed.
+func Handled() (int, error) {
+	if err := fail(); err != nil {
+		return 0, err
+	}
+	return pair()
+}
+
+// Allowed writes to in-memory sinks and defers a close-like call, none of
+// which the rule flags.
+func Allowed() string {
+	var b strings.Builder
+	b.WriteString("ok")
+	fmt.Fprintf(&b, "%d", 1)
+	fmt.Println("hello")
+	defer fail()
+	return b.String()
+}

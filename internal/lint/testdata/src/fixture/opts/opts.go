@@ -1,0 +1,48 @@
+// Package opts exercises the optionshygiene rule.
+package opts
+
+import "fixture/san"
+
+// RunRaw reads a field of an unvalidated Options parameter.
+func RunRaw(o san.Options) int {
+	return o.Replications // want optionshygiene
+}
+
+// RunLate validates only after the field already steered the study.
+func RunLate(o san.Options) (int, error) {
+	n := o.Replications // want optionshygiene
+	if err := o.Validate(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// RunValidated normalizes first: allowed.
+func RunValidated(o san.Options) (int, error) {
+	if err := o.Validate(); err != nil {
+		return 0, err
+	}
+	o = o.WithDefaults()
+	return o.Replications, nil
+}
+
+// RunDefaults normalizes with WithDefaults alone: allowed.
+func RunDefaults(o san.Options) int {
+	o = o.WithDefaults()
+	return o.Replications
+}
+
+// Forward passes the options along without reading fields: the callee is
+// responsible, so this is allowed.
+func Forward(o san.Options) (int, error) {
+	return RunValidated(o)
+}
+
+// runInternal is unexported; the rule only holds API boundaries to the
+// contract.
+func runInternal(o san.Options) int {
+	return o.Replications
+}
+
+// Touch keeps runInternal referenced.
+func Touch() int { return runInternal(san.Options{}) }

@@ -1,0 +1,73 @@
+package raid
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/san"
+)
+
+// TestStorageVerdictsMatchPredicates: the verdict accessors and the Lumps*
+// predicates derive from the same classification, and each failure mode
+// carries its class's reason.
+func TestStorageVerdictsMatchPredicates(t *testing.T) {
+	base := lumpableStorage(2, 3, TierGeometry{Data: 2, Parity: 1}, 1000, 48)
+	weibull := base
+	weibull.Disk.ShapeBeta = 0.7
+	detReplace := base
+	detReplace.Disk.ExponentialReplace = false
+	crews := base
+	crews.RepairCrews = 2
+	uniformCtrl := base
+	uniformCtrl.Controller.ExponentialRepair = false
+	off := base
+	off.Lumped = false
+
+	cases := []struct {
+		name       string
+		cfg        StorageConfig
+		tierReason string // "" means tier family lumpable
+		ctrlReason string // "" means controller family lumpable
+	}{
+		{"exponential", base, "", ""},
+		{"weibull-disks", weibull, san.ReasonAgedState, ""},
+		{"deterministic-replace", detReplace, san.ReasonAgedState, ""},
+		{"shared-crews", crews, san.ReasonCrewCoupling, ""},
+		{"uniform-controller-repair", uniformCtrl, "", san.ReasonNonExponential},
+		{"opt-out", off, "", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tier := tc.cfg.TierLumpability()
+			ctrl := tc.cfg.ControllerLumpability()
+			if tier.Lumped != tc.cfg.LumpsTiers() || ctrl.Lumped != tc.cfg.LumpsControllers() {
+				t.Fatalf("verdict Lumped (%v,%v) disagrees with predicates (%v,%v)",
+					tier.Lumped, ctrl.Lumped, tc.cfg.LumpsTiers(), tc.cfg.LumpsControllers())
+			}
+			if tier.Count != tc.cfg.TotalTiers() || ctrl.Count != tc.cfg.DDNUnits {
+				t.Fatalf("verdict counts wrong: tier %d ctrl %d", tier.Count, ctrl.Count)
+			}
+			assertReason(t, "tier", tier, tc.tierReason)
+			assertReason(t, "controller", ctrl, tc.ctrlReason)
+		})
+	}
+}
+
+func assertReason(t *testing.T, label string, v san.LumpabilityVerdict, prefix string) {
+	t.Helper()
+	if prefix == "" {
+		if !v.Lumpable || len(v.Reasons) != 0 {
+			t.Fatalf("%s family should be lumpable, got %+v", label, v)
+		}
+		return
+	}
+	if v.Lumpable {
+		t.Fatalf("%s family should not be lumpable: %+v", label, v)
+	}
+	for _, r := range v.Reasons {
+		if strings.HasPrefix(r, prefix) {
+			return
+		}
+	}
+	t.Fatalf("%s reasons %v missing %q", label, v.Reasons, prefix)
+}

@@ -171,18 +171,76 @@ type StorageConfig struct {
 	RepairCrews int
 }
 
+// controllerVerdict derives the controller-pair lumpability from the
+// distributions BuildStorage actually draws from (Lumped left false; the
+// exported accessors fill it in).
+func (c StorageConfig) controllerVerdict() san.LumpabilityVerdict {
+	life, err := dist.NewExponentialFromMean(c.Controller.MTBFHours)
+	delays := []san.NamedDelay{{Label: "controller_lifetime", Delay: life}}
+	if err != nil {
+		delays[0].Delay = nil
+	}
+	repair, err := c.Controller.repairDist()
+	if err != nil {
+		repair = nil
+	}
+	delays = append(delays, san.NamedDelay{Label: "controller_repair", Delay: repair})
+	return san.DeriveLumpability("controller_pairs", c.DDNUnits, false, delays)
+}
+
+// tierVerdict derives the RAID-tier lumpability from the disk distributions
+// plus the shared-crew coupling (Lumped left false; the exported accessors
+// fill it in).
+func (c StorageConfig) tierVerdict() san.LumpabilityVerdict {
+	life, err := dist.NewWeibullFromMTBF(c.Disk.ShapeBeta, c.Disk.MTBFHours)
+	delays := []san.NamedDelay{{Label: "disk_lifetime", Delay: life}}
+	if err != nil {
+		delays[0].Delay = nil
+	}
+	replace, err := c.Disk.replaceDist()
+	if err != nil {
+		replace = nil
+	}
+	delays = append(delays, san.NamedDelay{Label: "disk_replace", Delay: replace})
+	var structural []string
+	if c.RepairCrews > 0 {
+		structural = append(structural,
+			fmt.Sprintf("%s: %d shared repair crews couple tiers across DDN units", san.ReasonCrewCoupling, c.RepairCrews))
+	}
+	return san.DeriveLumpability("raid_tiers", c.DDNUnits*c.TiersPerDDN, false, delays, structural...)
+}
+
+// ControllerLumpability returns the derived lumpability verdict of the
+// controller-pair family, with Lumped reflecting the representation
+// BuildStorage would choose for this configuration.
+func (c StorageConfig) ControllerLumpability() san.LumpabilityVerdict {
+	v := c.controllerVerdict()
+	v.Lumped = c.Lumped && v.Lumpable
+	return v
+}
+
+// TierLumpability returns the derived lumpability verdict of the RAID-tier
+// family, with Lumped reflecting the representation BuildStorage would
+// choose for this configuration.
+func (c StorageConfig) TierLumpability() san.LumpabilityVerdict {
+	v := c.tierVerdict()
+	v.Lumped = c.Lumped && v.Lumpable
+	return v
+}
+
 // LumpsControllers reports whether BuildStorage will use the lumped
-// controller-pair representation: opted in and exponential repairs.
+// controller-pair representation: opted in, and the derived verdict admits
+// it (exponential repairs; lifetimes are exponential by construction).
 func (c StorageConfig) LumpsControllers() bool {
-	return c.Lumped && c.Controller.ExponentialRepair
+	return c.Lumped && c.controllerVerdict().Lumpable
 }
 
 // LumpsTiers reports whether BuildStorage will use the lumped tier
-// representation: opted in, exponential disk lifetimes (shape 1) and
-// replacements, and no shared-crew cap (a global crew couples tiers, which
-// breaks the per-tier replica symmetry).
+// representation: opted in, and the derived verdict admits it — exponential
+// disk lifetimes (shape 1) and replacements, and no shared-crew cap (a
+// global crew couples tiers, which breaks the per-tier replica symmetry).
 func (c StorageConfig) LumpsTiers() bool {
-	return c.Lumped && c.Disk.ShapeBeta == 1 && c.Disk.ExponentialReplace && c.RepairCrews == 0
+	return c.Lumped && c.tierVerdict().Lumpable
 }
 
 // DefaultDisk returns the ABE disk configuration.
@@ -334,6 +392,14 @@ func BuildStorage(m *san.Model, prefix string, cfg StorageConfig) (*StoragePlace
 		return nil, err
 	}
 	sp := &StoragePlaces{Config: cfg}
+	// Declare the replicated families with their derived verdicts so
+	// san.Analyze reports why each family was (or was not) lumped.
+	ctrlFam := cfg.ControllerLumpability()
+	ctrlFam.Family = san.Qualify(prefix, "controller_pairs")
+	m.DeclareFamily(ctrlFam)
+	tierFam := cfg.TierLumpability()
+	tierFam.Family = san.Qualify(prefix, "tiers")
+	m.DeclareFamily(tierFam)
 	var err error
 	sp.TiersFailed, err = m.AddPlaceErr(san.Qualify(prefix, "tiers_failed"), 0)
 	if err != nil {

@@ -112,12 +112,15 @@ func (cm *CompiledModel) NewSimulator(stream *rng.Stream) (*Simulator, error) {
 func (cm *CompiledModel) buildImpulseIndex() {
 	cm.impulsesByActivity = make([][]impulseBinding, cm.model.NumActivities())
 	for ri, rv := range cm.rewards {
-		for actName, fn := range rv.Impulses {
+		// Sorted names so the per-activity binding order (and with it the
+		// floating-point accumulation order at each completion) is the same
+		// on every run.
+		for _, actName := range sortedKeys(rv.Impulses) {
 			a := cm.model.Activity(actName)
 			if a == nil {
 				continue // validated earlier; defensive
 			}
-			cm.impulsesByActivity[a.index] = append(cm.impulsesByActivity[a.index], impulseBinding{rewardIndex: ri, fn: fn})
+			cm.impulsesByActivity[a.index] = append(cm.impulsesByActivity[a.index], impulseBinding{rewardIndex: ri, fn: rv.Impulses[actName]})
 		}
 	}
 }

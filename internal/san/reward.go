@@ -75,7 +75,9 @@ func (rv RewardVariable) validate(m *Model) error {
 	if rv.Mode == InstantAtEnd && len(rv.Impulses) > 0 {
 		return fmt.Errorf("%w: %q mixes impulse rewards with instant-of-time mode", ErrBadReward, rv.Name)
 	}
-	for actName := range rv.Impulses {
+	// Sorted names so a reward referencing several unknown activities fails
+	// with the same message on every run.
+	for _, actName := range sortedKeys(rv.Impulses) {
 		if m.Activity(actName) == nil {
 			return fmt.Errorf("%w: %q references unknown activity %q", ErrBadReward, rv.Name, actName)
 		}

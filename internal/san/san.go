@@ -224,6 +224,9 @@ type Model struct {
 	placeByNm  map[string]*Place
 	activities []*Activity
 	actByName  map[string]*Activity
+	// families holds the replicated-family lumpability verdicts declared by
+	// model builders (DeclareFamily), reported by Analyze.
+	families []LumpabilityVerdict
 }
 
 // NewModel returns an empty model with the given name.

@@ -611,7 +611,9 @@ func NewStudyResult(rewards []RewardVariable, opts Options) *StudyResult {
 // Parallelism settings.
 func (r *StudyResult) Add(res Result) {
 	r.TotalEvents += res.Events
-	for name, value := range res.Rewards {
+	// Each reward folds into its own independent Summary, so the visit
+	// order across names cannot affect any accumulated value.
+	for name, value := range res.Rewards { //lint:sorted
 		if s, ok := r.Summaries[name]; ok {
 			s.Add(value)
 		}

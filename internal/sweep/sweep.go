@@ -364,7 +364,9 @@ func (r *Result) Report() Report {
 			},
 			Intervals: make(map[string]ReportInterval, len(m.Intervals)),
 		}
-		for name, ci := range m.Intervals {
+		// Map-to-map copy; JSON encoding sorts the keys, so visit order
+		// never reaches the report bytes.
+		for name, ci := range m.Intervals { //lint:sorted
 			p.Intervals[name] = reportInterval(ci)
 		}
 		rep.Points = append(rep.Points, p)
