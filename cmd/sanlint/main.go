@@ -5,12 +5,15 @@
 // one line per finding and exits 1 when any exist, which is how `make lint`
 // gates CI before the tests run.
 //
-// Usage: sanlint [packages] — package arguments are accepted for
+// Usage: sanlint [-json] [packages] — package arguments are accepted for
 // familiarity (`sanlint ./...`) but the whole module rooted at the nearest
 // go.mod is always analyzed; partial certification is not meaningful.
+// With -json the findings are printed as a JSON array (file, line, column,
+// rule, message) for CI annotation; the exit code is the same either way.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -19,6 +22,8 @@ import (
 )
 
 func main() {
+	jsonOut := flag.Bool("json", false, "print findings as a JSON array instead of text lines")
+	flag.Parse()
 	root, err := moduleRoot()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sanlint:", err)
@@ -29,8 +34,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sanlint:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f.String())
+	if *jsonOut {
+		doc, err := lint.RenderJSON(findings)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sanlint:", err)
+			os.Exit(2)
+		}
+		fmt.Print(doc)
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "sanlint: %d finding(s)\n", len(findings))

@@ -93,6 +93,10 @@ type InfrastructureConfig struct {
 	// FabricRepairLoHours/FabricRepairHiHours bound the repair time.
 	FabricRepairLoHours float64
 	FabricRepairHiHours float64
+	// ExponentialRepair replaces the uniform fabric repair window with an
+	// exponential of the same mean — part of the fully memoryless regime
+	// WithExponentialForms selects.
+	ExponentialRepair bool
 }
 
 // Validate checks the infrastructure parameters.
@@ -125,6 +129,15 @@ type WorkloadConfig struct {
 	// JobCFSExposure is the fraction of jobs arriving during a CFS outage
 	// that actually fail (the batch system holds the rest).
 	JobCFSExposure float64
+	// ExponentialOutages replaces the uniform transient-outage window with
+	// an exponential of the same mean and keeps the on-off source form even
+	// under lumping (the impulse-only collapse draws a non-memoryless
+	// renewal). With every other distribution already exponential this makes
+	// the composed model a CTMC the statespace certificate tier can solve
+	// exactly. It is a separate opt-in from WithExponentialForms because the
+	// on-off window re-adds event traffic the impulse-only collapse exists
+	// to remove.
+	ExponentialOutages bool
 }
 
 // Validate checks the workload parameters.
@@ -221,6 +234,37 @@ func Petascale() Config {
 	return cfg
 }
 
+// MiniExponential returns the smallest fully memoryless configuration: one
+// scratch and one metadata OSS pair, a single DDN unit with one (2+1) RAID
+// tier, exponential forms everywhere (including the fabric repair and the
+// transient-outage window), and lumping enabled. Every family certifies
+// under the statespace tier, so the whole composed model is a CTMC small
+// enough for exact uniformization — the cross-check point where analytic
+// answers are validated against simulation confidence intervals. The
+// transient-outage window is widened (mean 1.25 h instead of 7.5 min) to
+// keep the uniformization constant small; the model is a solver-validation
+// configuration, not a calibrated ABE point.
+func MiniExponential() Config {
+	cfg := ABE().WithExponentialForms().WithLumping(true)
+	cfg.Name = "ABE mini (exponential)"
+	cfg.ScratchOSSPairs = 1
+	cfg.MetadataOSSPairs = 1
+	cfg.Storage.DDNUnits = 1
+	cfg.Storage.TiersPerDDN = 1
+	cfg.Storage.Geometry = raid.TierGeometry{Data: 2, Parity: 1}
+	// Disks fail and are replaced far faster than the calibrated ABE point:
+	// concurrent-failure storage outages then show up within a 60-replication
+	// year, so the simulated cross-check interval has nonzero width for the
+	// analytic answer to land in (a 300000 h MTBF tier never loses two of
+	// three disks at once in a simulated year).
+	cfg.Storage.Disk.MTBFHours = 1000
+	cfg.Storage.Disk.ReplaceHours = 48
+	cfg.Workload.ExponentialOutages = true
+	cfg.Workload.TransientOutageLoHours = 0.5
+	cfg.Workload.TransientOutageHiHours = 2.0
+	return cfg
+}
+
 // ScaledBy returns a copy of the configuration with the I/O subsystem scaled
 // by the given factor: the number of scratch OSS pairs and DDN units grows
 // proportionally, compute nodes grow proportionally, and the transient-error
@@ -288,6 +332,7 @@ func (c Config) WithExponentialForms() Config {
 	out.Storage.Disk.ShapeBeta = 1
 	out.Storage.Disk.ExponentialReplace = true
 	out.Storage.Controller.ExponentialRepair = true
+	out.Infrastructure.ExponentialRepair = true
 	return out
 }
 
@@ -404,7 +449,13 @@ func Build(m *san.Model, cfg Config) (*ModelPlaces, error) {
 	}
 
 	// OSS_SAN_NW / SAN: shared fabric between the OSSes and the DDN units.
-	fabricRepair, err := dist.NewUniform(cfg.Infrastructure.FabricRepairLoHours, cfg.Infrastructure.FabricRepairHiHours)
+	var fabricRepair dist.Distribution
+	if cfg.Infrastructure.ExponentialRepair {
+		fabricRepair, err = dist.NewExponentialFromMean(
+			(cfg.Infrastructure.FabricRepairLoHours + cfg.Infrastructure.FabricRepairHiHours) / 2)
+	} else {
+		fabricRepair, err = dist.NewUniform(cfg.Infrastructure.FabricRepairLoHours, cfg.Infrastructure.FabricRepairHiHours)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -429,12 +480,13 @@ func Build(m *san.Model, cfg Config) (*ModelPlaces, error) {
 	// lumped form collapses the on/off source to one impulse-carrying
 	// renewal activity with the identical inter-event law.
 	transientCfg := cluster.TransientConfig{
-		EventsPerHour: cfg.Workload.TransientEventsPerHour,
-		OutageLoHours: cfg.Workload.TransientOutageLoHours,
-		OutageHiHours: cfg.Workload.TransientOutageHiHours,
+		EventsPerHour:      cfg.Workload.TransientEventsPerHour,
+		OutageLoHours:      cfg.Workload.TransientOutageLoHours,
+		OutageHiHours:      cfg.Workload.TransientOutageHiHours,
+		ExponentialOutages: cfg.Workload.ExponentialOutages,
 	}
 	m.DeclareFamily(transientVerdict(cfg))
-	if cfg.Lumped {
+	if cfg.Lumped && !cfg.Workload.ExponentialOutages {
 		mp.Transient, err = cluster.BuildTransientImpulseSource(m, "client/network", transientCfg)
 	} else {
 		mp.Transient, err = cluster.BuildTransientSource(m, "client/network", transientCfg)
@@ -450,12 +502,14 @@ func Build(m *san.Model, cfg Config) (*ModelPlaces, error) {
 // Config.Lumped is set) is exact for the same reason lumping is — no reward
 // or enabling condition reads the on/off window place, so replacing the
 // two-activity on/off source with one impulse-carrying renewal activity
-// preserves every measure.
+// preserves every measure. Under ExponentialOutages the on-off form is kept
+// even when lumping (the collapse's renewal interval is a non-memoryless
+// sum, which would forfeit the solver certificate).
 func transientVerdict(cfg Config) san.LumpabilityVerdict {
 	return san.LumpabilityVerdict{
 		Family:   "client/network",
 		Count:    1,
-		Lumped:   cfg.Lumped,
+		Lumped:   cfg.Lumped && !cfg.Workload.ExponentialOutages,
 		Lumpable: true,
 	}
 }

@@ -436,6 +436,11 @@ type TransientConfig struct {
 	// each event induces (minutes, expressed in hours).
 	OutageLoHours float64
 	OutageHiHours float64
+	// ExponentialOutages replaces the uniform outage window with an
+	// exponential of the same mean, making the on-off source a CTMC so the
+	// structural certificate tier (internal/statespace) can solve the
+	// composed model exactly instead of simulating it.
+	ExponentialOutages bool
 }
 
 // Validate checks the configuration.
@@ -444,6 +449,17 @@ func (c TransientConfig) Validate() error {
 		return fmt.Errorf("%w: transient %+v", ErrBadConfig, c)
 	}
 	return nil
+}
+
+// outageDist returns the outage-window distribution: uniform over the
+// configured bounds, or — under ExponentialOutages — an exponential with the
+// same mean, preserving the long-run outage fraction while restoring
+// memorylessness.
+func (c TransientConfig) outageDist() (dist.Distribution, error) {
+	if c.ExponentialOutages {
+		return dist.NewExponentialFromMean((c.OutageLoHours + c.OutageHiHours) / 2)
+	}
+	return dist.NewUniform(c.OutageLoHours, c.OutageHiHours)
 }
 
 // TransientPlaces exposes the transient-error submodel.
@@ -456,8 +472,8 @@ type TransientPlaces struct {
 }
 
 // BuildTransientSource adds a transient-error process under prefix. Each
-// event raises Active for a short uniformly distributed window and then
-// clears it.
+// event raises Active for a short uniformly distributed window (exponential
+// of the same mean under ExponentialOutages) and then clears it.
 func BuildTransientSource(m *san.Model, prefix string, cfg TransientConfig) (*TransientPlaces, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -466,7 +482,7 @@ func BuildTransientSource(m *san.Model, prefix string, cfg TransientConfig) (*Tr
 	if err != nil {
 		return nil, err
 	}
-	outage, err := dist.NewUniform(cfg.OutageLoHours, cfg.OutageHiHours)
+	outage, err := cfg.outageDist()
 	if err != nil {
 		return nil, err
 	}
@@ -507,7 +523,7 @@ func BuildTransientImpulseSource(m *san.Model, prefix string, cfg TransientConfi
 	if err != nil {
 		return nil, err
 	}
-	outage, err := dist.NewUniform(cfg.OutageLoHours, cfg.OutageHiHours)
+	outage, err := cfg.outageDist()
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/abe"
 	"repro/internal/san"
+	"repro/internal/statespace"
 )
 
 // ConfigAnalysis is the static analysis of one experiment configuration:
@@ -20,6 +21,12 @@ type ConfigAnalysis struct {
 	// structure, so the report is computed once per distinct design variant
 	// (at its first, smallest point) and omitted on the scaled repeats.
 	Report *san.AnalysisReport `json:"report,omitempty"`
+	// Certificate is the solver-tier structural certificate
+	// (statespace.Certify) of the same reference-scale model the Report
+	// covers: either a proof that the certified uniformization solver may
+	// answer the configuration, or the structured refusals explaining why it
+	// must simulate.
+	Certificate *san.Certificate `json:"certificate,omitempty"`
 }
 
 // ExperimentAnalysis is the -analyze section of an abesim run: the static
@@ -32,20 +39,21 @@ type ExperimentAnalysis struct {
 	Clean bool `json:"clean"`
 }
 
-// analyzeConfig builds and compiles the configuration and runs the full
-// structural analysis.
-func analyzeConfig(cfg abe.Config) (*san.AnalysisReport, error) {
+// analyzeConfig builds and compiles the configuration, runs the full
+// structural analysis, and runs the solver-tier certificate pipeline.
+func analyzeConfig(cfg abe.Config) (*san.AnalysisReport, *san.Certificate, error) {
 	m := san.NewModel(cfg.Name)
 	mp, err := abe.Build(m, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cm, err := san.Compile(m, mp.Rewards())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rep := san.Analyze(cm)
-	return &rep, nil
+	_, cert := statespace.Certify(cm, statespace.Options{})
+	return &rep, &cert, nil
 }
 
 // AnalyzeExperiment statically analyzes the model configurations the named
@@ -60,21 +68,25 @@ func AnalyzeExperiment(name string, opts Options) (*ExperimentAnalysis, error) {
 	switch name {
 	case "figure4":
 		factors := Figure4ScaleFactors(opts.Quick)
-		seenVariant := map[bool]bool{} // keyed by the spare-OSS flag
-		for _, pt := range Figure4Points(opts.Seed, factors) {
+		// The cross-check pair shares one model, so analyze its config once.
+		points := append(Figure4Points(opts.Seed, factors), Figure4CrossCheckPoints(opts.Seed)[0])
+		seenVariant := map[string]bool{} // keyed by the distinct model shapes
+		for _, pt := range points {
 			cfg := pt.Config
 			label := pt.Label
 			if label == "" {
 				label = cfg.Name
 			}
 			ca := ConfigAnalysis{Label: label, Verdicts: cfg.LumpabilityVerdicts()}
-			if spare := cfg.OSS.SpareOSS; !seenVariant[spare] {
-				seenVariant[spare] = true
-				rep, err := analyzeConfig(cfg)
+			variant := fmt.Sprintf("spare=%v exp=%v", cfg.OSS.SpareOSS, cfg.Workload.ExponentialOutages)
+			if !seenVariant[variant] {
+				seenVariant[variant] = true
+				rep, cert, err := analyzeConfig(cfg)
 				if err != nil {
 					return nil, fmt.Errorf("experiments: analyzing %q: %w", label, err)
 				}
 				ca.Report = rep
+				ca.Certificate = cert
 			}
 			out.Configs = append(out.Configs, ca)
 		}
@@ -86,14 +98,15 @@ func AnalyzeExperiment(name string, opts Options) (*ExperimentAnalysis, error) {
 			{"abe", abe.ABE()},
 			{"abe lumped", abe.ABE().WithLumping(true)},
 		} {
-			rep, err := analyzeConfig(variant.cfg)
+			rep, cert, err := analyzeConfig(variant.cfg)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: analyzing %q: %w", variant.label, err)
 			}
 			out.Configs = append(out.Configs, ConfigAnalysis{
-				Label:    variant.label,
-				Verdicts: variant.cfg.LumpabilityVerdicts(),
-				Report:   rep,
+				Label:       variant.label,
+				Verdicts:    variant.cfg.LumpabilityVerdicts(),
+				Report:      rep,
+				Certificate: cert,
 			})
 		}
 	}
@@ -117,6 +130,9 @@ func (a *ExperimentAnalysis) Render() string {
 		}
 		if ca.Report != nil {
 			b.WriteString(indentLines(ca.Report.Render(), "  "))
+		}
+		if ca.Certificate != nil {
+			fmt.Fprintf(&b, "  solver certificate: %s\n", ca.Certificate.Summary())
 		}
 	}
 	fmt.Fprintf(&b, "clean: %v\n", a.Clean)

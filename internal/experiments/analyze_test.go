@@ -18,8 +18,9 @@ func TestAnalyzeFigure4(t *testing.T) {
 		t.Fatalf("figure4 configurations must analyze clean:\n%s", a.Render())
 	}
 	factors := Figure4ScaleFactors(true)
-	if len(a.Configs) != 2*len(factors) {
-		t.Fatalf("got %d configs, want %d (base+spare per factor)", len(a.Configs), 2*len(factors))
+	if len(a.Configs) != 2*len(factors)+1 {
+		t.Fatalf("got %d configs, want %d (base+spare per factor, plus the solver cross-check)",
+			len(a.Configs), 2*len(factors)+1)
 	}
 	var reports int
 	for _, ca := range a.Configs {
@@ -31,10 +32,13 @@ func TestAnalyzeFigure4(t *testing.T) {
 			if !ca.Report.Clean {
 				t.Fatalf("config %q structural report not clean:\n%s", ca.Label, ca.Report.Render())
 			}
+			if ca.Certificate == nil {
+				t.Fatalf("config %q has a structural report but no solver certificate", ca.Label)
+			}
 		}
 	}
-	if reports != 2 {
-		t.Fatalf("got %d structural reports, want 2 (base and spare variants)", reports)
+	if reports != 3 {
+		t.Fatalf("got %d structural reports, want 3 (base, spare, and cross-check variants)", reports)
 	}
 	// The first base and spare points carry the reports (reference scale).
 	if a.Configs[0].Report == nil || a.Configs[1].Report == nil {
@@ -42,6 +46,21 @@ func TestAnalyzeFigure4(t *testing.T) {
 	}
 	if a.Configs[2].Report != nil {
 		t.Fatal("scaled repeats must omit the structural report")
+	}
+	// The plain ABE model is refused (non-memoryless repairs); the
+	// exponential cross-check model is certified for the solver.
+	if a.Configs[0].Certificate.Certified() {
+		t.Fatal("plain ABE model must be refused by the solver tier")
+	}
+	if len(a.Configs[0].Certificate.Refusals) == 0 {
+		t.Fatal("refused certificate must carry structured refusal reasons")
+	}
+	cross := a.Configs[len(a.Configs)-1]
+	if cross.Certificate == nil || !cross.Certificate.Certified() {
+		t.Fatalf("cross-check model must certify, got %+v", cross.Certificate)
+	}
+	if !strings.Contains(a.Render(), "solver certificate: certified") {
+		t.Fatal("rendered analysis must show the certified solver certificate")
 	}
 }
 

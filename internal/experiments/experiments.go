@@ -473,13 +473,29 @@ func Figure4PointsFrom(base abe.Config, seed uint64, factors []float64) []sweep.
 	return points
 }
 
+// Figure4CrossCheckPoints returns the solver cross-check pair appended after
+// the Figure 4 (base, spare) pairs: the fully exponential mini configuration
+// once for the certified uniformization solver and once forced through the
+// simulator, both pinned to the same seed. The pair puts an exact analytic
+// answer and a simulation estimate of the same model side by side in every
+// figure4 report, so the two tiers audit each other on every run.
+func Figure4CrossCheckPoints(seed uint64) []sweep.Point {
+	cfg := abe.MiniExponential()
+	return []sweep.Point{
+		{Label: cfg.Name + " [solver cross-check]", Config: cfg, Seed: seed},
+		{Label: cfg.Name + " [simulated twin]", Config: cfg, Seed: seed, ForceSimulation: true},
+	}
+}
+
 // Figure4Sweep runs the Figure 4 scaling study as one sharded sweep: base and
 // spare-OSS variants of every scale factor are evaluated over a single shared
 // worker pool, so the slow petascale points overlap with the fast ABE-scale
-// ones instead of each draining its own pool.
+// ones instead of each draining its own pool. The solver cross-check pair
+// (see Figure4CrossCheckPoints) rides along after the figure's own points.
 func Figure4Sweep(opts Options) (*sweep.Result, error) {
 	opts = opts.withDefaults()
-	return sweep.Run(Figure4Points(opts.Seed, Figure4ScaleFactors(opts.Quick)), opts.sanOptions())
+	points := append(Figure4Points(opts.Seed, Figure4ScaleFactors(opts.Quick)), Figure4CrossCheckPoints(opts.Seed)...)
+	return sweep.Run(points, opts.sanOptions())
 }
 
 // figure4FromSweep projects the (base, spare) point pairs of the Figure 4

@@ -3,10 +3,14 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 
+	"repro/internal/abe"
 	"repro/internal/raid"
+	"repro/internal/san"
+	"repro/internal/sweep"
 )
 
 // quick returns cheap options for CI-speed experiment runs.
@@ -189,6 +193,46 @@ func TestFigure4AvailabilityAndCU(t *testing.T) {
 	}
 	if !(spare[last] > cfs[last]) {
 		t.Errorf("spare OSS should improve petascale availability: %v vs %v", spare[last], cfs[last])
+	}
+}
+
+// TestFigure4CrossCheckAgreement is the solver-vs-simulation audit the
+// figure4 sweep ships: the certified uniformization answer to the fully
+// exponential mini configuration must agree with a 60-replication simulation
+// of the same model within the simulation's own 95% confidence interval.
+func TestFigure4CrossCheckAgreement(t *testing.T) {
+	points := Figure4CrossCheckPoints(7)
+	res, err := sweep.Run(points, san.Options{Mission: 8760, Replications: 60, Confidence: 0.95, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	analytic, twin := res.Points[0], res.Points[1]
+	if analytic.Solver.Method != sweep.MethodUniformization {
+		t.Fatalf("cross-check point solved by %q (reasons %v), want uniformization",
+			analytic.Solver.Method, analytic.Solver.Reasons)
+	}
+	if analytic.Solver.Certificate == nil || !analytic.Solver.Certificate.Certified() {
+		t.Fatalf("analytic point must carry a certified certificate: %+v", analytic.Solver.Certificate)
+	}
+	if twin.Solver.Method != sweep.MethodSimulation || len(twin.Solver.Reasons) == 0 {
+		t.Fatalf("forced twin must simulate with a recorded reason: %+v", twin.Solver)
+	}
+	for _, name := range []string{abe.RewardStorageAvailability, abe.RewardCFSAvailability} {
+		a := analytic.Measures.Intervals[name]
+		ci := twin.Measures.Intervals[name]
+		if a.HalfWidth != 0 {
+			t.Errorf("%s: analytic interval must be exact (zero half-width), got %v", name, a.HalfWidth)
+		}
+		if ci.N != 60 || ci.HalfWidth <= 0 {
+			t.Fatalf("%s: twin interval not a 60-replication estimate: %+v", name, ci)
+		}
+		if diff := math.Abs(a.Mean - ci.Mean); diff > ci.HalfWidth {
+			t.Errorf("%s: analytic %v vs simulated %v ± %v — outside the 95%% CI",
+				name, a.Mean, ci.Mean, ci.HalfWidth)
+		}
 	}
 }
 

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatOrder guards the reduction-order class of bug the sweep engine once
+// had (a Welford fold over replication results in goroutine-completion
+// order): floating-point addition is not associative, so accumulating floats
+// in an unspecified order changes the result bit-for-bit even when every
+// element is visited exactly once. Inside the deterministic package set the
+// pass flags float accumulation — `x += e`, `x = x + e`, or an Add call
+// whose argument carries floats — inside a map range (iteration order
+// unspecified) or a channel range (goroutine completion order).
+//
+// The index-order-reduction idiom is not flagged, because it does not
+// accumulate inside the loop: workers store into indexed slots
+// (`out[i] = v`) and a later loop folds the slots in index order. A range
+// annotated //lint:sorted (or an annotated accumulation line) is exempt:
+// the author asserts the visit order cannot reach any output.
+func floatOrder(p *Package) []Finding {
+	var findings []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok || rng.Body == nil {
+					return true
+				}
+				kind := unorderedRangeKind(p, rng)
+				if kind == "" || p.sortedAnnotated(rng.Pos()) {
+					return true
+				}
+				findings = append(findings, floatAccumulations(p, rng, kind)...)
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+// unorderedRangeKind classifies the range's visit order: "map iteration" for
+// map ranges, "channel receive" for channel ranges, empty for ordered
+// ranges (slices, arrays, strings, integers).
+func unorderedRangeKind(p *Package, rng *ast.RangeStmt) string {
+	tv, ok := p.Info.Types[rng.X]
+	if !ok {
+		return ""
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		return "map iteration"
+	case *types.Chan:
+		return "channel receive"
+	}
+	return ""
+}
+
+// floatAccumulations collects the float accumulation statements in the range
+// body: compound float assignments, self-referential float additions, and
+// Add calls fed float-carrying values.
+func floatAccumulations(p *Package, rng *ast.RangeStmt, kind string) []Finding {
+	var findings []Finding
+	flag := func(pos token.Pos, what string) {
+		if p.sortedAnnotated(pos) {
+			return
+		}
+		findings = append(findings, Finding{
+			Pos:  p.Fset.Position(pos),
+			Rule: "floatorder",
+			Message: what + " in " + kind + " order is not associative; " +
+				"reduce in index order or annotate //lint:sorted with a justification",
+		})
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			if accumulatesFloat(p, node) {
+				flag(node.Pos(), "float accumulation")
+			}
+		case *ast.CallExpr:
+			if f := calleeFunc(p.Info, node); f != nil && f.Name() == "Add" && anyArgCarriesFloat(p, node) {
+				flag(node.Pos(), "Add of float-carrying values")
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// accumulatesFloat reports whether the assignment folds a float into one of
+// its own targets: `x += e` / `x -= e` on a float, or `x = x + e` where the
+// right-hand side reads x.
+func accumulatesFloat(p *Package, assign *ast.AssignStmt) bool {
+	switch assign.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		return len(assign.Lhs) == 1 && isFloat(p.Info.TypeOf(assign.Lhs[0]))
+	case token.ASSIGN:
+		for i, lhs := range assign.Lhs {
+			if i >= len(assign.Rhs) || !isFloat(p.Info.TypeOf(lhs)) {
+				continue
+			}
+			bin, ok := ast.Unparen(assign.Rhs[i]).(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) {
+				continue
+			}
+			obj := lhsObject(p, lhs)
+			if obj == nil {
+				continue
+			}
+			if readsObject(p, bin, obj) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lhsObject resolves the assigned identifier (possibly behind a selector,
+// as in s.total += v) to its object.
+func lhsObject(p *Package, lhs ast.Expr) types.Object {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		return p.Info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return p.Info.ObjectOf(e.Sel)
+	}
+	return nil
+}
+
+// readsObject reports whether the expression mentions the object.
+func readsObject(p *Package, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && p.Info.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// anyArgCarriesFloat reports whether any call argument's type carries a
+// float (so an order-sensitive fold could hide behind the call). Integer
+// Add calls — sync.WaitGroup.Add(1), counters — never match.
+func anyArgCarriesFloat(p *Package, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if carriesFloat(p.Info.TypeOf(arg), 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// carriesFloat reports whether the type is a float or aggregates floats
+// (struct fields, map/slice/array elements, pointers), to bounded depth.
+func carriesFloat(t types.Type, depth int) bool {
+	if t == nil || depth > 3 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsFloat != 0
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carriesFloat(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Map:
+		return carriesFloat(u.Elem(), depth+1)
+	case *types.Slice:
+		return carriesFloat(u.Elem(), depth+1)
+	case *types.Array:
+		return carriesFloat(u.Elem(), depth+1)
+	case *types.Pointer:
+		return carriesFloat(u.Elem(), depth+1)
+	}
+	return false
+}

@@ -2,12 +2,18 @@
 // this module that proves the determinism contract and model-construction
 // invariants before anything runs. It parses and type-checks every non-test
 // file with go/parser + go/types (stdlib source importer; no external
-// dependencies) and applies four rule passes:
+// dependencies) and applies five rule passes:
 //
 //   - nodeterminism: inside the deterministic package set, forbid wall-clock
 //     reads (time.Now), the global math/rand generators, and map iteration in
 //     unspecified order — unless the range is annotated //lint:sorted or uses
 //     the collect-keys-then-sort idiom.
+//   - floatorder: inside the deterministic package set, flag floating-point
+//     accumulation (+=, x = x + e, Add of float-carrying values) inside map
+//     or channel ranges, whose visit order is unspecified — float addition is
+//     not associative, so such folds are order-sensitive bit-for-bit. The
+//     index-order-reduction idiom (store to indexed slots, fold later in
+//     index order) and //lint:sorted annotations are exempt.
 //   - nocompiledmutation: flag builder mutations (Add*/Set* calls) on a model
 //     after it was handed to san.Compile/CompileStrict in the same function,
 //     and any use of the deprecated package-level san.NewSimulator outside
@@ -23,6 +29,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -61,6 +68,7 @@ func DefaultConfig(root string) Config {
 		ModulePath: "repro",
 		DeterministicPkgs: []string{
 			"repro/internal/san",
+			"repro/internal/statespace",
 			"repro/internal/sweep",
 			"repro/internal/rareevent",
 			"repro/internal/calibrate",
@@ -92,6 +100,33 @@ type Finding struct {
 // sanlint command prints.
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
+}
+
+// JSONFinding is the machine-readable form of a Finding (sanlint -json).
+type JSONFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// RenderJSON renders the findings as an indented JSON array — always an
+// array, `[]` when the module is clean — so CI can annotate PRs without
+// parsing the text form.
+func RenderJSON(findings []Finding) (string, error) {
+	out := make([]JSONFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, JSONFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Column: f.Pos.Column,
+			Rule: f.Rule, Message: f.Message,
+		})
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
 }
 
 // Package is one loaded, type-checked package with everything a rule pass
@@ -277,6 +312,7 @@ func Run(cfg Config) ([]Finding, error) {
 		}
 		if cfg.deterministic(path) {
 			findings = append(findings, noDeterminism(p)...)
+			findings = append(findings, floatOrder(p)...)
 		}
 		findings = append(findings, noCompiledMutation(p, cfg.SANPath)...)
 		findings = append(findings, optionsHygiene(p, cfg.SANPath)...)

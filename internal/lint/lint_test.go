@@ -2,7 +2,9 @@ package lint
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
+	"go/token"
 	"os"
 	"path/filepath"
 	"sort"
@@ -113,6 +115,90 @@ func TestFindingsSortedAndRendered(t *testing.T) {
 	line := findings[0].String()
 	if !strings.Contains(line, ".go:") || strings.Count(line, ": ") < 2 {
 		t.Fatalf("unexpected rendering %q", line)
+	}
+}
+
+// TestRenderGolden pins both output forms on a fixed findings slice: the
+// text lines sanlint prints by default and the JSON array behind -json.
+func TestRenderGolden(t *testing.T) {
+	findings := []Finding{
+		{
+			Pos:     token.Position{Filename: "a/b.go", Line: 12, Column: 3},
+			Rule:    "floatorder",
+			Message: "float accumulation in map iteration order is not associative",
+		},
+		{
+			Pos:     token.Position{Filename: "c/d.go", Line: 7, Column: 1},
+			Rule:    "nodeterminism",
+			Message: "time.Now in a deterministic package",
+		},
+	}
+	wantText := "a/b.go:12:3: floatorder: float accumulation in map iteration order is not associative"
+	if got := findings[0].String(); got != wantText {
+		t.Errorf("text rendering:\n got %q\nwant %q", got, wantText)
+	}
+	gotJSON, err := RenderJSON(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := `[
+  {
+    "file": "a/b.go",
+    "line": 12,
+    "column": 3,
+    "rule": "floatorder",
+    "message": "float accumulation in map iteration order is not associative"
+  },
+  {
+    "file": "c/d.go",
+    "line": 7,
+    "column": 1,
+    "rule": "nodeterminism",
+    "message": "time.Now in a deterministic package"
+  }
+]
+`
+	if gotJSON != wantJSON {
+		t.Errorf("JSON rendering:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+	empty, err := RenderJSON(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty != "[]\n" {
+		t.Errorf("clean module must render as an empty array, got %q", empty)
+	}
+}
+
+// TestFixtureJSONRoundTrip renders the fixture findings as JSON and checks
+// the documents agree field-for-field with the text findings.
+func TestFixtureJSONRoundTrip(t *testing.T) {
+	findings, err := Run(fixtureConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := RenderJSON(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []JSONFinding
+	if err := json.Unmarshal([]byte(doc), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, doc)
+	}
+	if len(parsed) != len(findings) {
+		t.Fatalf("got %d JSON findings, want %d", len(parsed), len(findings))
+	}
+	rules := map[string]int{}
+	for i, jf := range parsed {
+		f := findings[i]
+		if jf.File != f.Pos.Filename || jf.Line != f.Pos.Line || jf.Column != f.Pos.Column ||
+			jf.Rule != f.Rule || jf.Message != f.Message {
+			t.Errorf("finding %d mismatch: %+v vs %s", i, jf, f)
+		}
+		rules[jf.Rule]++
+	}
+	if rules["floatorder"] == 0 {
+		t.Error("fixture must exercise the floatorder rule")
 	}
 }
 

@@ -57,3 +57,79 @@ func SliceRange(xs []int) int {
 	}
 	return total
 }
+
+// Welford is a float-folding accumulator, the floatorder rule's Add target.
+type Welford struct{ mean float64 }
+
+// Add folds one observation.
+func (w *Welford) Add(x float64) { w.mean += x }
+
+// Count folds integers.
+func (w *Welford) Count(n int) {}
+
+// SumFloats folds floats in map order: order-sensitive bit-for-bit.
+func SumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want nodeterminism
+		total += v // want floatorder
+	}
+	return total
+}
+
+// SumFloatsExplicit spells the fold as a self-referential addition.
+func SumFloatsExplicit(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want nodeterminism
+		total = total + v // want floatorder
+	}
+	return total
+}
+
+// FoldChannel folds floats in goroutine-completion order.
+func FoldChannel(ch chan float64) {
+	var w Welford
+	for v := range ch {
+		w.Add(v) // want floatorder
+	}
+}
+
+// CountChannel folds integers from a channel; integer addition is
+// associative, so completion order cannot reach the result.
+func CountChannel(ch chan int) int {
+	total := 0
+	n := 0
+	var w Welford
+	for v := range ch {
+		total += v
+		n++
+		w.Count(1)
+	}
+	return total + n
+}
+
+// SumFloatsSorted asserts the order cannot leak (e.g. the result feeds a
+// tolerance check, not an output); both rules honor the annotation.
+func SumFloatsSorted(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { //lint:sorted
+		total += v
+	}
+	return total
+}
+
+// IndexOrderReduction is the canonical fix: store into indexed slots in the
+// unordered phase, fold in index order afterwards.
+func IndexOrderReduction(results chan struct {
+	I int
+	V float64
+}) float64 {
+	slots := make([]float64, 8)
+	for r := range results {
+		slots[r.I] = r.V
+	}
+	var total float64
+	for _, v := range slots {
+		total += v
+	}
+	return total
+}

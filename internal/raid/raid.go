@@ -413,6 +413,11 @@ func BuildStorage(m *san.Model, prefix string, cfg StorageConfig) (*StoragePlace
 	if err != nil {
 		return nil, err
 	}
+	// DisksDown feeds consumers outside the compiled model — the rare-event
+	// importance/level functions and backlog monitors read it directly, no
+	// in-model gate or reward does. Declaring the reader keeps san.Analyze
+	// from flagging the counter as unread state.
+	m.DeclareExternalReader("rare-event importance / backlog monitors", sp.DisksDown)
 	if cfg.RepairCrews > 0 {
 		sp.RepairCrews, err = m.AddPlaceErr(san.Qualify(prefix, "repair_crews"), cfg.RepairCrews)
 		if err != nil {

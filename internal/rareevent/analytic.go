@@ -19,6 +19,12 @@ import (
 // truncated when the Poisson tail drops below 1e-12. This is the exact
 // answer the splitting and naive Monte Carlo estimators are validated
 // against on models whose SAN encoding is a birth-death chain.
+//
+// internal/statespace generalizes the same uniformization scheme (same Λ
+// bound, Poisson truncation, and tolerance) from hand-coded birth-death
+// chains to any compiled SAN model that passes its structural certificate;
+// Generator.SolveTransient on such a chain reproduces this function to
+// floating-point accuracy (pinned by the statespace golden tests).
 func BirthDeathHitProbability(birth, death []float64, horizon float64) (float64, error) {
 	k := len(birth)
 	if k < 1 {

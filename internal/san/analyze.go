@@ -156,12 +156,15 @@ type AnalysisReport struct {
 	// DeadActivities lists activities that can never fire.
 	DeadActivities []DeadActivity `json:"dead_activities,omitempty"`
 	// UnreadPlaces lists places some activity or gate writes but nothing —
-	// no enabling condition, gate, reward, case probability, or delay
-	// function — ever reads: wasted state that inflates the marking (and can
-	// block lumping) without influencing any measure. Advisory: a place kept
-	// for importance functions or external monitors shows up here because
-	// monitors are not part of the compiled model.
+	// no enabling condition, gate, reward, case probability, delay function,
+	// or declared external reader — ever reads: wasted state that inflates
+	// the marking (and can block lumping) without influencing any measure.
+	// Places kept for importance functions or external monitors are excused
+	// by declaring the consumer with Model.DeclareExternalReader.
 	UnreadPlaces []string `json:"unread_places,omitempty"`
+	// ExternalReaders echoes the declared out-of-model readers whose reads
+	// were folded into the analysis.
+	ExternalReaders []ExternalReader `json:"external_readers,omitempty"`
 	// Families are the declared replicated-family lumpability verdicts.
 	Families []LumpabilityVerdict `json:"families,omitempty"`
 	// Clean reports the strict-mode outcome: no vanishing loops and no dead
@@ -356,6 +359,23 @@ func Analyze(cm *CompiledModel) AnalysisReport {
 		written[i] = written[i] || ps.writes[i]
 		read[i] = read[i] || ps.reads[i]
 	}
+	// Declared external readers (rare-event importance functions, monitors)
+	// count as reads: the places they watch are kept state, not waste.
+	for _, er := range model.externalReads {
+		rec := ExternalReader{Name: er.name}
+		for _, p := range er.places {
+			if p == nil || p.index < 0 || p.index >= nPlaces {
+				continue
+			}
+			read[p.index] = true
+			rec.Places = append(rec.Places, p.name)
+		}
+		sort.Strings(rec.Places)
+		rep.ExternalReaders = append(rep.ExternalReaders, rec)
+	}
+	sort.Slice(rep.ExternalReaders, func(i, j int) bool {
+		return rep.ExternalReaders[i].Name < rep.ExternalReaders[j].Name
+	})
 
 	rep.DeadActivities = deadActivities(model, written)
 	rep.VanishingLoops = vanishingLoops(cm, ps)
@@ -613,6 +633,9 @@ func (r AnalysisReport) Render() string {
 	}
 	if len(r.UnreadPlaces) > 0 {
 		fmt.Fprintf(&b, "  unread places (advisory): %s\n", strings.Join(r.UnreadPlaces, ", "))
+	}
+	for _, er := range r.ExternalReaders {
+		fmt.Fprintf(&b, "  external reader: %s reads %s\n", er.Name, strings.Join(er.Places, ", "))
 	}
 	if len(r.Families) > 0 {
 		b.WriteString("  families:\n")

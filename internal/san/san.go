@@ -227,6 +227,9 @@ type Model struct {
 	// families holds the replicated-family lumpability verdicts declared by
 	// model builders (DeclareFamily), reported by Analyze.
 	families []LumpabilityVerdict
+	// externalReads holds the declared out-of-model place readers
+	// (DeclareExternalReader), folded into Analyze's read set.
+	externalReads []externalRead
 }
 
 // NewModel returns an empty model with the given name.

@@ -1,0 +1,287 @@
+// Package statespace is the structural analysis tier between the model layer
+// (internal/san) and the numerical solvers: it derives the incidence matrix
+// of a compiled model, computes place and transition invariants over the
+// rationals, exhaustively generates the reachable state graph with vanishing
+// markings eliminated on the fly, and emits a sparse CTMC generator with a
+// machine-checked certificate (san.Certificate) proving the solver
+// preconditions — memoryless timed behavior, terminating instantaneous
+// behavior, and a finite state space — before any numerics run. Models that
+// fail a precondition are refused with a structured reason, never silently
+// solved.
+//
+// The package mirrors the simulator's firing semantics exactly (input arcs,
+// input-gate transforms, case selection mass normalization, sweep-ordered
+// instantaneous closure, post-fire impulse evaluation), so the generated
+// chain is the chain the simulator samples.
+package statespace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/san"
+)
+
+// Options bound the structural analysis.
+type Options struct {
+	// MaxStates caps the exhaustive exploration. Zero means DefaultMaxStates.
+	MaxStates int
+	// MaxInvariantPlaces and MaxInvariantColumns cap the incidence tableau;
+	// larger models skip invariant computation (bounds then come from
+	// exploration alone). Zero means the defaults.
+	MaxInvariantPlaces  int
+	MaxInvariantColumns int
+	// MaxFarkasRows caps the intermediate tableau growth of the invariant
+	// computation. Zero means DefaultMaxFarkasRows.
+	MaxFarkasRows int
+}
+
+// Default analysis budgets.
+const (
+	DefaultMaxStates           = 50000
+	DefaultMaxInvariantPlaces  = 600
+	DefaultMaxInvariantColumns = 1200
+	DefaultMaxFarkasRows       = 4096
+	maxVanishingSweeps         = 10000
+	maxRefusalPlacesListed     = 8
+)
+
+func (o Options) withDefaults() Options {
+	if o.MaxStates <= 0 {
+		o.MaxStates = DefaultMaxStates
+	}
+	if o.MaxInvariantPlaces <= 0 {
+		o.MaxInvariantPlaces = DefaultMaxInvariantPlaces
+	}
+	if o.MaxInvariantColumns <= 0 {
+		o.MaxInvariantColumns = DefaultMaxInvariantColumns
+	}
+	if o.MaxFarkasRows <= 0 {
+		o.MaxFarkasRows = DefaultMaxFarkasRows
+	}
+	return o
+}
+
+// StateProb is one atom of a probability distribution over generated states.
+type StateProb struct {
+	State int
+	Prob  float64
+}
+
+// Transition is one edge of the generated CTMC: a timed activity firing (one
+// probabilistic case, one vanishing-elimination path) from one tangible
+// state to another. Parallel edges between the same pair of states are kept
+// separate so each carries its own impulse-reward vector; the solver merges
+// them when it builds the uniformized matrix.
+type Transition struct {
+	// From and To index Generator.States.
+	From, To int
+	// Activity is the timed activity whose firing produced the edge.
+	Activity string
+	// Rate is the exponential rate of the edge: the activity's rate times
+	// the case probability times the probability of the vanishing path.
+	Rate float64
+	// Impulses holds, per reward variable (Generator.cm.Rewards() order),
+	// the impulse reward earned when the edge fires — the firing activity's
+	// impulses plus those of every instantaneous activity on the path.
+	Impulses []float64
+}
+
+// Generator is the exhaustively generated CTMC of a certified model: the
+// tangible reachable states in deterministic BFS order, the initial
+// distribution (after eliminating a vanishing initial marking), and the
+// outgoing transitions of every state.
+type Generator struct {
+	cm *san.CompiledModel
+	// States holds the tangible markings in discovery (BFS) order, each a
+	// full marking vector in place-index order. States[0] is the first
+	// tangible state reached from the initial marking.
+	States [][]int
+	// Initial is the distribution over States at time zero. A tangible
+	// initial marking gives the single atom {0, 1}; a vanishing one may
+	// split across the outcomes of its instantaneous closure.
+	Initial []StateProb
+	// InitialImpulses holds the expected impulse rewards (per reward
+	// variable) earned during the initial vanishing closure, before time
+	// starts.
+	InitialImpulses []float64
+	// Transitions[s] lists the outgoing edges of state s, in deterministic
+	// (activity declaration, case, path) order.
+	Transitions [][]Transition
+}
+
+// NumTransitions returns the total edge count.
+func (g *Generator) NumTransitions() int {
+	n := 0
+	for _, ts := range g.Transitions {
+		n += len(ts)
+	}
+	return n
+}
+
+// Rewards returns the reward variables of the underlying compiled model, in
+// the order Transition.Impulses and InitialImpulses are indexed by.
+func (g *Generator) Rewards() []san.RewardVariable { return g.cm.Rewards() }
+
+// Certify runs the full structural pipeline on a compiled model: memoryless
+// pre-check, vanishing-loop analysis, invariant computation, and exhaustive
+// state-space generation. It returns the generated CTMC together with the
+// certificate; the generator is nil unless the certificate is Certified.
+//
+// The pipeline fails fast: a non-exponential delay or a vanishing loop
+// refuses before exploration spends any budget, and the refusal strings are
+// prefixed with the san.Refusal* constants so callers can classify them.
+func Certify(cm *san.CompiledModel, opts Options) (*Generator, san.Certificate) {
+	opts = opts.withDefaults()
+	var cert san.Certificate
+
+	// 1. Memoryless pre-check at the initial marking. Per-state rates are
+	// re-derived during exploration; this catches structurally hopeless
+	// models (uniform repairs, Weibull wear-out) before any state is built.
+	initial := cm.InitialMarking()
+	cert.Memoryless = true
+	for _, a := range cm.Model().Activities() {
+		if a.Kind() != san.Timed {
+			continue
+		}
+		if _, err := activityRate(a, markingVec(initial)); err != nil {
+			cert.Memoryless = false
+			cert.Refusals = append(cert.Refusals, fmt.Sprintf("%s: %v", san.RefusalNonMemoryless, err))
+		}
+	}
+
+	// 2. Vanishing behavior: with no instantaneous activities elimination is
+	// trivially terminating; otherwise the instantaneous-loop analysis must
+	// rule out loops, or on-the-fly elimination has no termination proof.
+	cert.VanishingFree = true
+	if len(cm.Instantaneous()) > 0 {
+		rep := san.Analyze(cm)
+		for _, loop := range rep.VanishingLoops {
+			cert.VanishingFree = false
+			cert.Refusals = append(cert.Refusals,
+				fmt.Sprintf("%s: instantaneous cycle %v", san.RefusalVanishingLoop, loop.Activities))
+		}
+	}
+
+	if !cert.Memoryless || !cert.VanishingFree {
+		return nil, cert
+	}
+
+	// 3. Invariants over the rationals. Budget overruns downgrade gracefully:
+	// bounds then rest on exploration alone.
+	inv := computeInvariants(cm, opts)
+	cert.PInvariants = len(inv.pInvariants)
+	cert.TInvariants = inv.tInvariants
+
+	// 4. Exhaustive exploration with on-the-fly vanishing elimination.
+	gen, exp := explore(cm, opts)
+	if exp.err != nil {
+		cert.Bounded = false
+		cert.Refusals = append(cert.Refusals, fmt.Sprintf("%s: %v", san.RefusalExploration, exp.err))
+		return nil, cert
+	}
+	if exp.nonMemoryless != "" {
+		cert.Memoryless = false
+		cert.Refusals = append(cert.Refusals, fmt.Sprintf("%s: %s", san.RefusalNonMemoryless, exp.nonMemoryless))
+		return nil, cert
+	}
+	if exp.budgetExceeded {
+		cert.Bounded = false
+		uncovered := inv.uncoveredPlaces(cm)
+		if len(uncovered) > 0 {
+			if len(uncovered) > maxRefusalPlacesListed {
+				uncovered = append(uncovered[:maxRefusalPlacesListed], "...")
+			}
+			cert.Refusals = append(cert.Refusals, fmt.Sprintf(
+				"%s: exploration exceeded %d states and no place invariant bounds %v",
+				san.RefusalUnbounded, opts.MaxStates, uncovered))
+		} else {
+			cert.Refusals = append(cert.Refusals, fmt.Sprintf(
+				"%s: state space provably finite (every place invariant-bounded) but larger than the %d-state budget",
+				san.RefusalBudget, opts.MaxStates))
+		}
+		return nil, cert
+	}
+
+	cert.Bounded = true
+	cert.States = len(gen.States)
+	cert.Transitions = gen.NumTransitions()
+	cert.PlaceBounds = placeBounds(cm, inv, exp.observedMax)
+	return gen, cert
+}
+
+// placeBounds assembles the per-place boundedness certificates: the
+// invariant-derived bound where one exists and is consistent with the
+// explored maximum (the invariant vector reported as evidence), otherwise
+// the exhaustively observed maximum.
+func placeBounds(cm *san.CompiledModel, inv invariantResult, observedMax []int) []san.PlaceBound {
+	places := cm.Model().Places()
+	bounds := make([]san.PlaceBound, 0, len(places))
+	for _, p := range places {
+		pi := p.Index()
+		pb := san.PlaceBound{Place: p.Name(), Bound: observedMax[pi], Proof: san.ProofExploration}
+		if b, ev, ok := inv.boundFor(pi, cm); ok && b >= observedMax[pi] {
+			// An invariant bound below the observed maximum would mean the
+			// probed gate deltas were not the real ones; the exploration
+			// proof is then the trustworthy one.
+			pb.Bound = b
+			pb.Proof = san.ProofPInvariant
+			pb.Invariant = ev
+		}
+		bounds = append(bounds, pb)
+	}
+	return bounds
+}
+
+// markingVec adapts a marking vector (place-index order) to san.MarkingReader.
+type markingVec []int
+
+func (v markingVec) Tokens(p *san.Place) int { return v[p.Index()] }
+
+// activityRate classifies a timed activity's delay distribution at marking m
+// as exponential and returns its rate, or an error naming why the delay is
+// not memoryless. Weibull with shape 1 is the exponential in disguise the
+// calibration layer produces.
+func activityRate(a *san.Activity, m san.MarkingReader) (rate float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("activity %q: delay evaluation panicked: %v", a.Name(), r)
+		}
+	}()
+	d := a.DelayAt(m)
+	switch dd := d.(type) {
+	case dist.Exponential:
+		return dd.Rate(), nil
+	case dist.Weibull:
+		if dd.Shape() == 1 {
+			return 1 / dd.Mean(), nil
+		}
+		return 0, fmt.Errorf("activity %q: Weibull delay with shape %g", a.Name(), dd.Shape())
+	case nil:
+		return 0, fmt.Errorf("activity %q: nil delay", a.Name())
+	default:
+		return 0, fmt.Errorf("activity %q: %T delay", a.Name(), d)
+	}
+}
+
+// stateKey encodes a marking vector as a map key.
+func stateKey(mark []int) string {
+	buf := make([]byte, 8*len(mark))
+	for i, v := range mark {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(int64(v)))
+	}
+	return string(buf)
+}
+
+// sortedPlaceNames returns the names of the given place indices in sorted
+// order, for deterministic refusal messages.
+func sortedPlaceNames(cm *san.CompiledModel, idx []int) []string {
+	names := make([]string, 0, len(idx))
+	for _, i := range idx {
+		names = append(names, cm.Model().Places()[i].Name())
+	}
+	sort.Strings(names)
+	return names
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/san"
+	"repro/internal/statespace"
 	"repro/internal/stats"
 )
 
@@ -48,6 +49,12 @@ type Point struct {
 	// (the default) derives an independent seed from the sweep seed and the
 	// point index (see PointSeeds).
 	Seed uint64
+	// ForceSimulation opts the point out of the analytic solver tier even
+	// when its model certifies: the point simulates, and the solver section
+	// records the override. Cross-check points use it to simulate the exact
+	// configuration the solver answers analytically, so the two tiers can be
+	// compared on the same model.
+	ForceSimulation bool
 }
 
 // label returns the effective label of the point.
@@ -57,6 +64,27 @@ func (p Point) label() string {
 	}
 	return p.Config.Name
 }
+
+// Solver records how a sweep point was answered: by the certified
+// uniformization solver (exact, zero variance) or by simulation, with the
+// structural certificate or the structured refusal reasons as evidence.
+type Solver struct {
+	// Method is MethodUniformization or MethodSimulation.
+	Method string
+	// Reasons explains a simulation choice: the certificate's structured
+	// refusals, a solver error, or the point's ForceSimulation override.
+	// Empty when the solver answered analytically.
+	Reasons []string
+	// Certificate is the structural certificate when certification ran (it
+	// is skipped under ForceSimulation).
+	Certificate *san.Certificate
+}
+
+// Solver methods.
+const (
+	MethodUniformization = "uniformization"
+	MethodSimulation     = "simulation"
+)
 
 // PointResult is the outcome of one sweep point.
 type PointResult struct {
@@ -72,6 +100,9 @@ type PointResult struct {
 	// model as evaluated (lumped where the configuration opts in) next to
 	// its flat expansion.
 	ModelStats abe.ModelStats
+	// Solver records whether the point was answered analytically or by
+	// simulation, and why.
+	Solver Solver
 }
 
 // Result is the outcome of a sweep.
@@ -166,10 +197,48 @@ func Run(points []Point, opts san.Options) (*Result, error) {
 		plans[i] = &pointPlan{opts: ptOpts, repSeeds: san.ReplicationSeeds(ptOpts)}
 	}
 
+	// Solver tier: certify every point up front and answer certified points
+	// by uniformization — exact, zero variance, no replications. Points
+	// whose certificate is refused (or whose solve fails numerically)
+	// simulate, with the structured reasons recorded; ForceSimulation skips
+	// certification outright. The certificate pipeline fails fast on
+	// non-memoryless models, so this pre-pass costs at most one bounded
+	// exploration (comparable to a fraction of one replication) per point.
+	analytic := make([]map[string]float64, len(points))
+	solverInfo := make([]Solver, len(points))
+	for i, pt := range points {
+		if pt.ForceSimulation {
+			solverInfo[i] = Solver{Method: MethodSimulation, Reasons: []string{"forced: point requests simulation"}}
+			continue
+		}
+		pp := plans[i]
+		pp.build(pt.Config)
+		if pp.buildErr != nil {
+			return nil, fmt.Errorf("sweep: point %d (%s): %w", i, pt.label(), pp.buildErr)
+		}
+		gen, cert := statespace.Certify(pp.compiled, statespace.Options{})
+		c := cert
+		solverInfo[i].Certificate = &c
+		if !cert.Certified() {
+			solverInfo[i].Method = MethodSimulation
+			solverInfo[i].Reasons = cert.Refusals
+			continue
+		}
+		rewards, err := gen.SolveTransient(pp.opts.Mission)
+		if err != nil {
+			solverInfo[i].Method = MethodSimulation
+			solverInfo[i].Reasons = []string{err.Error()}
+			continue
+		}
+		solverInfo[i].Method = MethodUniformization
+		analytic[i] = rewards
+	}
+
 	// One flat job list over the whole sweep, enqueued configuration-major.
 	// The channel is FIFO, so each worker draws a nondecreasing sequence of
 	// point indexes — a single-slot simulator cache per worker never
-	// revisits an evicted point.
+	// revisits an evicted point. Analytically answered points enqueue no
+	// jobs.
 	type sweepJob struct {
 		point int
 		rep   int
@@ -182,11 +251,17 @@ func Run(points []Point, opts san.Options) (*Result, error) {
 	total := 0
 	outcomes := make([][]repOutcome, len(points))
 	for i, pp := range plans {
+		if analytic[i] != nil {
+			continue
+		}
 		outcomes[i] = make([]repOutcome, pp.opts.Replications)
 		total += pp.opts.Replications
 	}
 	jobs := make(chan sweepJob, total)
 	for i, pp := range plans {
+		if analytic[i] != nil {
+			continue
+		}
 		for rep, seed := range pp.repSeeds {
 			jobs <- sweepJob{point: i, rep: rep, seed: seed}
 		}
@@ -240,11 +315,20 @@ func Run(points []Point, opts san.Options) (*Result, error) {
 			return nil, fmt.Errorf("sweep: point %d (%s): %w", i, pt.label(), pp.buildErr)
 		}
 		study := san.NewStudyResult(pp.rewards, pp.opts)
-		for rep, out := range outcomes[i] {
-			if out.err != nil {
-				return nil, fmt.Errorf("sweep: point %d (%s) replication %d: %w", i, pt.label(), rep, out.err)
+		if analytic[i] != nil {
+			// Synthesize the study from the exact analytic answer: two
+			// identical replications give the exact mean, zero variance, and
+			// zero-width intervals through the unchanged reduction path.
+			res := san.Result{Rewards: analytic[i], FinalTime: pp.opts.Mission}
+			study.Add(res)
+			study.Add(res)
+		} else {
+			for rep, out := range outcomes[i] {
+				if out.err != nil {
+					return nil, fmt.Errorf("sweep: point %d (%s) replication %d: %w", i, pt.label(), rep, out.err)
+				}
+				study.Add(out.res)
 			}
-			study.Add(out.res)
 		}
 		m, err := abe.MeasuresFromStudy(pt.Config, study)
 		if err != nil {
@@ -270,7 +354,9 @@ func Run(points []Point, opts san.Options) (*Result, error) {
 			}
 		}
 		result.TotalEvents += study.TotalEvents
-		result.Points = append(result.Points, PointResult{Label: pt.label(), Seed: seeds[i], Measures: m, ModelStats: ms})
+		result.Points = append(result.Points, PointResult{
+			Label: pt.label(), Seed: seeds[i], Measures: m, ModelStats: ms, Solver: solverInfo[i],
+		})
 	}
 	return result, nil
 }
@@ -305,7 +391,19 @@ type ReportPoint struct {
 	LostJobsTransientPerYear float64                   `json:"lost_jobs_transient_per_year"`
 	LostJobsCFSPerYear       float64                   `json:"lost_jobs_cfs_per_year"`
 	ModelStats               ReportModelStats          `json:"model_stats"`
+	Solver                   ReportSolver              `json:"solver"`
 	Intervals                map[string]ReportInterval `json:"intervals"`
+}
+
+// ReportSolver records how the point was answered: "uniformization" when the
+// structural certificate proved the solver preconditions and the point's
+// measures are exact (zero-width intervals), "simulation" otherwise — with
+// the certificate's structured refusals (or the ForceSimulation override, or
+// a numerical solver error) as the reasons.
+type ReportSolver struct {
+	Method      string           `json:"method"`
+	Reasons     []string         `json:"reasons,omitempty"`
+	Certificate *san.Certificate `json:"certificate,omitempty"`
 }
 
 // ReportModelStats is the model_stats view of a point: the size of the
@@ -361,6 +459,11 @@ func (r *Result) Report() Report {
 				FlatPlaces:     pt.ModelStats.FlatPlaces,
 				FlatActivities: pt.ModelStats.FlatActivities,
 				Lumped:         pt.ModelStats.Lumped,
+			},
+			Solver: ReportSolver{
+				Method:      pt.Solver.Method,
+				Reasons:     pt.Solver.Reasons,
+				Certificate: pt.Solver.Certificate,
 			},
 			Intervals: make(map[string]ReportInterval, len(m.Intervals)),
 		}
