@@ -25,8 +25,10 @@ test:
 # sweep engine, the snapshot/clone machinery of the rare-event engine, the
 # calibration pipeline feeding the sweep (paper_full), the discrete-event
 # core, the checkpoint/restore machinery, and the experiment drivers.
+# The experiments package exceeds Go's default 10m test-binary deadline
+# under the race detector, so the timeout is set explicitly.
 race:
-	$(GO) test -race ./internal/san/... ./internal/sweep/... ./internal/rareevent/... ./internal/calibrate/... ./internal/des/... ./internal/checkpoint/... ./internal/experiments/...
+	$(GO) test -race -timeout 30m ./internal/san/... ./internal/sweep/... ./internal/rareevent/... ./internal/calibrate/... ./internal/des/... ./internal/checkpoint/... ./internal/experiments/...
 
 vet:
 	$(GO) vet ./...

@@ -581,3 +581,34 @@ func TestCompositionTreeLumpedAnnotations(t *testing.T) {
 		t.Errorf("Weibull tiers annotated as lumped:\n%s", partial)
 	}
 }
+
+// TestMiniErlangConfig pins the shipped previously-refused configuration:
+// it validates, builds, and carries the Erlang fabric-repair knob; the
+// degenerate stage counts are rejected at validation.
+func TestMiniErlangConfig(t *testing.T) {
+	cfg := MiniErlang()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("MiniErlang invalid: %v", err)
+	}
+	if cfg.Infrastructure.ErlangRepairStages != 3 {
+		t.Fatalf("ErlangRepairStages = %d, want 3", cfg.Infrastructure.ErlangRepairStages)
+	}
+	m := san.NewModel(cfg.Name)
+	mp, err := Build(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := san.Compile(m, mp.Rewards()); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := MiniErlang()
+	bad.Infrastructure.ErlangRepairStages = 1
+	if err := bad.Validate(); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("single-stage Erlang must be rejected with ErrBadConfig, got %v", err)
+	}
+	bad.Infrastructure.ErlangRepairStages = -1
+	if err := bad.Validate(); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative stage count must be rejected with ErrBadConfig, got %v", err)
+	}
+}

@@ -35,6 +35,26 @@ func (c RepairableConfig) Validate() error {
 	return nil
 }
 
+// ErlangRepair returns the multi-stage repair distribution for a repairable
+// component whose repair window is calibrated as [loHours, hiHours]: an
+// Erlang with the given number of exponential stages and the window's mean.
+// Matching the mean keeps the availability target of the calibration while
+// the stage count sets the variance (k stages cut the squared coefficient of
+// variation to 1/k — between the uniform window's near-determinism and the
+// exponential's full variance). The Erlang form is what san.ExpandPhases
+// rewrites into exact exponential phases, so a repairable built with it is
+// certifiable by the statespace tier.
+func ErlangRepair(stages int, loHours, hiHours float64) (dist.Distribution, error) {
+	if stages < 2 {
+		return nil, fmt.Errorf("%w: Erlang repair needs >= 2 stages, got %d", ErrBadConfig, stages)
+	}
+	mean := (loHours + hiHours) / 2
+	if !(mean > 0) {
+		return nil, fmt.Errorf("%w: Erlang repair window [%g, %g] has non-positive mean", ErrBadConfig, loHours, hiHours)
+	}
+	return dist.NewErlang(stages, float64(stages)/mean)
+}
+
 // BuildRepairable adds a two-state repairable component under prefix. While
 // the component is failed it holds one token in the shared outage counter
 // place downCounter, so a system is up when all its components' shared

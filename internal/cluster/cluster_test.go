@@ -542,3 +542,29 @@ func TestBuildTransientImpulseSource(t *testing.T) {
 		t.Errorf("transient events per year = %v, want ~4300", events)
 	}
 }
+
+// TestErlangRepair pins the multi-stage repair constructor: the window's
+// mean is preserved, the shape is the stage count, and degenerate inputs
+// are rejected.
+func TestErlangRepair(t *testing.T) {
+	d, err := ErlangRepair(3, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := d.(dist.Gamma)
+	if !ok {
+		t.Fatalf("ErlangRepair returned %T, want dist.Gamma", d)
+	}
+	if g.Shape() != 3 {
+		t.Errorf("shape = %v, want 3", g.Shape())
+	}
+	if math.Abs(g.Mean()-12) > 1e-12 {
+		t.Errorf("mean = %v, want 12 (window midpoint)", g.Mean())
+	}
+	if _, err := ErlangRepair(1, 8, 16); err == nil {
+		t.Error("single-stage Erlang accepted; that is the exponential, use it directly")
+	}
+	if _, err := ErlangRepair(3, -16, 8); err == nil {
+		t.Error("non-positive mean accepted")
+	}
+}

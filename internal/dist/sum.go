@@ -30,6 +30,13 @@ func NewSum(parts ...Distribution) (Sum, error) {
 	return Sum{parts: append([]Distribution(nil), parts...)}, nil
 }
 
+// Parts returns a copy of the part distributions in declaration order. The
+// phase-type expansion pass (san.ExpandPhases) uses it to decide whether the
+// convolution has an exact hypoexponential form.
+func (d Sum) Parts() []Distribution {
+	return append([]Distribution(nil), d.parts...)
+}
+
 // Sample draws one value from each part and returns the total.
 func (d Sum) Sample(s *rng.Stream) float64 {
 	total := 0.0

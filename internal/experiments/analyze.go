@@ -53,7 +53,32 @@ func analyzeConfig(cfg abe.Config) (*san.AnalysisReport, *san.Certificate, error
 	}
 	rep := san.Analyze(cm)
 	_, cert := statespace.Certify(cm, statespace.Options{})
+	if !cert.Certified() && hasRefusalPrefix(cert.Refusals, san.RefusalNonMemoryless) {
+		// The original model is non-memoryless; retry on a fresh build with
+		// the phase-type expansion pass applied. The expanded certificate is
+		// adopted only when the pass actually rewrote something — otherwise
+		// the original refusals stand.
+		fresh := san.NewModel(cfg.Name)
+		fmp, err := abe.Build(fresh, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		_, exCert, exRep, err := statespace.CertifyExpanded(fresh, fmp.Rewards(), statespace.Options{})
+		if err == nil && len(exRep.Expanded) > 0 {
+			cert = exCert
+		}
+	}
 	return &rep, &cert, nil
+}
+
+// hasRefusalPrefix reports whether any refusal starts with the given reason.
+func hasRefusalPrefix(refusals []string, prefix string) bool {
+	for _, r := range refusals {
+		if strings.HasPrefix(r, prefix) {
+			return true
+		}
+	}
+	return false
 }
 
 // AnalyzeExperiment statically analyzes the model configurations the named
@@ -70,6 +95,7 @@ func AnalyzeExperiment(name string, opts Options) (*ExperimentAnalysis, error) {
 		factors := Figure4ScaleFactors(opts.Quick)
 		// The cross-check pair shares one model, so analyze its config once.
 		points := append(Figure4Points(opts.Seed, factors), Figure4CrossCheckPoints(opts.Seed)[0])
+		points = append(points, Figure4ErlangCrossCheckPoints(opts.Seed)[0])
 		seenVariant := map[string]bool{} // keyed by the distinct model shapes
 		for _, pt := range points {
 			cfg := pt.Config
@@ -78,7 +104,8 @@ func AnalyzeExperiment(name string, opts Options) (*ExperimentAnalysis, error) {
 				label = cfg.Name
 			}
 			ca := ConfigAnalysis{Label: label, Verdicts: cfg.LumpabilityVerdicts()}
-			variant := fmt.Sprintf("spare=%v exp=%v", cfg.OSS.SpareOSS, cfg.Workload.ExponentialOutages)
+			variant := fmt.Sprintf("spare=%v exp=%v erlang=%d",
+				cfg.OSS.SpareOSS, cfg.Workload.ExponentialOutages, cfg.Infrastructure.ErlangRepairStages)
 			if !seenVariant[variant] {
 				seenVariant[variant] = true
 				rep, cert, err := analyzeConfig(cfg)

@@ -18,9 +18,9 @@ func TestAnalyzeFigure4(t *testing.T) {
 		t.Fatalf("figure4 configurations must analyze clean:\n%s", a.Render())
 	}
 	factors := Figure4ScaleFactors(true)
-	if len(a.Configs) != 2*len(factors)+1 {
-		t.Fatalf("got %d configs, want %d (base+spare per factor, plus the solver cross-check)",
-			len(a.Configs), 2*len(factors)+1)
+	if len(a.Configs) != 2*len(factors)+2 {
+		t.Fatalf("got %d configs, want %d (base+spare per factor, plus the two solver cross-checks)",
+			len(a.Configs), 2*len(factors)+2)
 	}
 	var reports int
 	for _, ca := range a.Configs {
@@ -37,8 +37,8 @@ func TestAnalyzeFigure4(t *testing.T) {
 			}
 		}
 	}
-	if reports != 3 {
-		t.Fatalf("got %d structural reports, want 3 (base, spare, and cross-check variants)", reports)
+	if reports != 4 {
+		t.Fatalf("got %d structural reports, want 4 (base, spare, and the two cross-check variants)", reports)
 	}
 	// The first base and spare points carry the reports (reference scale).
 	if a.Configs[0].Report == nil || a.Configs[1].Report == nil {
@@ -55,12 +55,24 @@ func TestAnalyzeFigure4(t *testing.T) {
 	if len(a.Configs[0].Certificate.Refusals) == 0 {
 		t.Fatal("refused certificate must carry structured refusal reasons")
 	}
-	cross := a.Configs[len(a.Configs)-1]
+	cross := a.Configs[len(a.Configs)-2]
 	if cross.Certificate == nil || !cross.Certificate.Certified() {
 		t.Fatalf("cross-check model must certify, got %+v", cross.Certificate)
 	}
+	// The Erlang cross-check model is refused as written and certified only
+	// through the phase expansion, which the certificate records.
+	erlang := a.Configs[len(a.Configs)-1]
+	if erlang.Certificate == nil || !erlang.Certificate.Certified() {
+		t.Fatalf("Erlang cross-check model must certify after expansion, got %+v", erlang.Certificate)
+	}
+	if len(erlang.Certificate.Expansions) == 0 {
+		t.Fatalf("Erlang certificate must record the expansion evidence: %+v", erlang.Certificate)
+	}
 	if !strings.Contains(a.Render(), "solver certificate: certified") {
 		t.Fatal("rendered analysis must show the certified solver certificate")
+	}
+	if !strings.Contains(a.Render(), "after phase expansion") {
+		t.Fatal("rendered analysis must surface the certified-after-expansion summary")
 	}
 }
 

@@ -487,14 +487,31 @@ func Figure4CrossCheckPoints(seed uint64) []sweep.Point {
 	}
 }
 
+// Figure4ErlangCrossCheckPoints is the phase-type expansion counterpart of
+// Figure4CrossCheckPoints: the Gamma-Erlang-repair mini configuration —
+// which the certificate tier refuses as built (`non-memoryless`) and
+// certifies only after san.ExpandPhases — once answered analytically through
+// the expansion and once forced through simulation with the same seed. The
+// pair audits the expansion's exactness end to end: the expanded analytic
+// answer must land inside the simulation's 95% confidence interval.
+func Figure4ErlangCrossCheckPoints(seed uint64) []sweep.Point {
+	cfg := abe.MiniErlang()
+	return []sweep.Point{
+		{Label: cfg.Name + " [solver cross-check]", Config: cfg, Seed: seed},
+		{Label: cfg.Name + " [simulated twin]", Config: cfg, Seed: seed, ForceSimulation: true},
+	}
+}
+
 // Figure4Sweep runs the Figure 4 scaling study as one sharded sweep: base and
 // spare-OSS variants of every scale factor are evaluated over a single shared
 // worker pool, so the slow petascale points overlap with the fast ABE-scale
-// ones instead of each draining its own pool. The solver cross-check pair
-// (see Figure4CrossCheckPoints) rides along after the figure's own points.
+// ones instead of each draining its own pool. The solver cross-check pairs
+// (Figure4CrossCheckPoints and the phase-type expansion twin of
+// Figure4ErlangCrossCheckPoints) ride along after the figure's own points.
 func Figure4Sweep(opts Options) (*sweep.Result, error) {
 	opts = opts.withDefaults()
 	points := append(Figure4Points(opts.Seed, Figure4ScaleFactors(opts.Quick)), Figure4CrossCheckPoints(opts.Seed)...)
+	points = append(points, Figure4ErlangCrossCheckPoints(opts.Seed)...)
 	return sweep.Run(points, opts.sanOptions())
 }
 

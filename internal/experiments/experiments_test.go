@@ -10,6 +10,7 @@ import (
 	"repro/internal/abe"
 	"repro/internal/raid"
 	"repro/internal/san"
+	"repro/internal/statespace"
 	"repro/internal/sweep"
 )
 
@@ -233,6 +234,86 @@ func TestFigure4CrossCheckAgreement(t *testing.T) {
 			t.Errorf("%s: analytic %v vs simulated %v ± %v — outside the 95%% CI",
 				name, a.Mean, ci.Mean, ci.HalfWidth)
 		}
+	}
+}
+
+// TestFigure4ErlangCrossCheckAgreement is the phase-expansion twin of the
+// cross-check above: the Erlang-repair mini configuration is refused as
+// written (non-memoryless), becomes certified after san.ExpandPhases, and
+// the expanded analytic answer must agree with a 60-replication simulation
+// of the ORIGINAL (unexpanded) model within the simulation's own 95% CI.
+func TestFigure4ErlangCrossCheckAgreement(t *testing.T) {
+	points := Figure4ErlangCrossCheckPoints(7)
+	res, err := sweep.Run(points, san.Options{Mission: 8760, Replications: 60, Confidence: 0.95, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	analytic, twin := res.Points[0], res.Points[1]
+	if analytic.Solver.Method != sweep.MethodUniformization {
+		t.Fatalf("Erlang point solved by %q (reasons %v), want uniformization after expansion",
+			analytic.Solver.Method, analytic.Solver.Reasons)
+	}
+	cert := analytic.Solver.Certificate
+	if cert == nil || !cert.Certified() {
+		t.Fatalf("Erlang point must carry a certified certificate: %+v", cert)
+	}
+	if len(cert.Expansions) == 0 {
+		t.Fatalf("certificate must record the phase expansion evidence: %+v", cert)
+	}
+	if !strings.Contains(cert.Summary(), "after phase expansion") {
+		t.Fatalf("certificate summary must surface the expansion: %q", cert.Summary())
+	}
+	if twin.Solver.Method != sweep.MethodSimulation || len(twin.Solver.Reasons) == 0 {
+		t.Fatalf("forced twin must simulate with a recorded reason: %+v", twin.Solver)
+	}
+	for _, name := range []string{abe.RewardStorageAvailability, abe.RewardCFSAvailability} {
+		a := analytic.Measures.Intervals[name]
+		ci := twin.Measures.Intervals[name]
+		if a.HalfWidth != 0 {
+			t.Errorf("%s: analytic interval must be exact (zero half-width), got %v", name, a.HalfWidth)
+		}
+		if ci.N != 60 || ci.HalfWidth <= 0 {
+			t.Fatalf("%s: twin interval not a 60-replication estimate: %+v", name, ci)
+		}
+		if diff := math.Abs(a.Mean - ci.Mean); diff > ci.HalfWidth {
+			t.Errorf("%s: expanded analytic %v vs simulated %v ± %v — outside the 95%% CI",
+				name, a.Mean, ci.Mean, ci.HalfWidth)
+		}
+	}
+}
+
+// TestMiniErlangRefusedWithoutExpansion pins the before side of the story:
+// the Erlang-repair mini configuration is refused by the plain certificate
+// tier with a non-memoryless reason that names the expansion remedy.
+func TestMiniErlangRefusedWithoutExpansion(t *testing.T) {
+	cfg := abe.MiniErlang()
+	m := san.NewModel(cfg.Name)
+	mp, err := abe.Build(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := san.Compile(m, mp.Rewards())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cert := statespace.Certify(cm, statespace.Options{})
+	if cert.Certified() {
+		t.Fatal("unexpanded Erlang config must be refused")
+	}
+	found := false
+	for _, r := range cert.Refusals {
+		if strings.HasPrefix(r, san.RefusalNonMemoryless) {
+			found = true
+			if !strings.Contains(r, "expandable into") {
+				t.Errorf("refusal should name the expansion remedy: %q", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("expected a non-memoryless refusal, got %v", cert.Refusals)
 	}
 }
 

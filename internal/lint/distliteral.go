@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// distLiteral enforces constructor discipline for distribution values:
+// outside the dist package itself, a composite literal of a dist-defined
+// type implementing dist.Distribution bypasses the New* constructors'
+// validation (positive rates and shapes, ordered bounds, normalized mixture
+// weights) and can mint a delay no calibration produced — and static passes
+// (san.ExpandPhases, the lumpability predicates) reason about distributions
+// on the premise that those invariants hold. Every distribution value must
+// come from a constructor. Plain argument records the dist package exports
+// (e.g. the Component branches handed to NewMixture, which validates them)
+// do not implement Distribution and stay constructible.
+func distLiteral(p *Package, distPath string) []Finding {
+	if distPath == "" || p.Path == distPath {
+		return nil
+	}
+	var findings []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[cl]
+			if !ok {
+				return true
+			}
+			named, ok := types.Unalias(tv.Type).(*types.Named)
+			if !ok {
+				return true
+			}
+			obj := named.Obj()
+			if obj.Pkg() == nil || obj.Pkg().Path() != distPath {
+				return true
+			}
+			if !implementsDistribution(named, obj.Pkg()) {
+				return true
+			}
+			findings = append(findings, Finding{
+				Pos:  p.Fset.Position(cl.Pos()),
+				Rule: "distliteral",
+				Message: "composite literal of " + obj.Pkg().Name() + "." + obj.Name() +
+					" bypasses constructor validation; use the " + obj.Pkg().Name() + ".New* constructors",
+			})
+			return true
+		})
+	}
+	return findings
+}
+
+// implementsDistribution reports whether the named type (by value or
+// pointer) satisfies the Distribution interface its own package declares.
+// A dist package without such an interface makes every literal suspect.
+func implementsDistribution(named *types.Named, distPkg *types.Package) bool {
+	tn, _ := distPkg.Scope().Lookup("Distribution").(*types.TypeName)
+	if tn == nil {
+		return true
+	}
+	iface, ok := types.Unalias(tn.Type()).Underlying().(*types.Interface)
+	if !ok {
+		return true
+	}
+	return types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface)
+}

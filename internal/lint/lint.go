@@ -2,7 +2,7 @@
 // this module that proves the determinism contract and model-construction
 // invariants before anything runs. It parses and type-checks every non-test
 // file with go/parser + go/types (stdlib source importer; no external
-// dependencies) and applies five rule passes:
+// dependencies) and applies six rule passes:
 //
 //   - nodeterminism: inside the deterministic package set, forbid wall-clock
 //     reads (time.Now), the global math/rand generators, and map iteration in
@@ -23,6 +23,11 @@
 //     options must be normalized before they steer a study.
 //   - errcheck: discarded error returns (bare call statements and blank
 //     assignments) in non-test code.
+//   - distliteral: outside the dist package itself, composite literals of
+//     dist-defined types implementing dist.Distribution are flagged — they
+//     bypass the New* constructors' validation, and static passes
+//     (san.ExpandPhases, the lumpability predicates) reason about
+//     distributions on the premise that their invariants hold.
 //
 // Findings carry positions and rule names; sanlint prints them and exits
 // non-zero, which is how `make lint` gates CI.
@@ -57,6 +62,9 @@ type Config struct {
 	// SANPath is the import path of the package defining Compile, Options,
 	// and NewSimulator (the targets of the model-invariant rules).
 	SANPath string
+	// DistPath is the import path of the distribution package whose types
+	// the distliteral rule protects; the rule is skipped when empty.
+	DistPath string
 }
 
 // DefaultConfig returns the lint configuration for this repository rooted
@@ -76,7 +84,8 @@ func DefaultConfig(root string) Config {
 			"repro/internal/stats",
 			"repro/internal/report",
 		},
-		SANPath: "repro/internal/san",
+		SANPath:  "repro/internal/san",
+		DistPath: "repro/internal/dist",
 	}
 }
 
@@ -317,6 +326,7 @@ func Run(cfg Config) ([]Finding, error) {
 		findings = append(findings, noCompiledMutation(p, cfg.SANPath)...)
 		findings = append(findings, optionsHygiene(p, cfg.SANPath)...)
 		findings = append(findings, errCheck(p)...)
+		findings = append(findings, distLiteral(p, cfg.DistPath)...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]

@@ -25,6 +25,7 @@ func fixtureConfig(t *testing.T) Config {
 		ModulePath:        "fixture",
 		DeterministicPkgs: []string{"fixture/san", "fixture/det"},
 		SANPath:           "fixture/san",
+		DistPath:          "fixture/dist",
 	}
 }
 

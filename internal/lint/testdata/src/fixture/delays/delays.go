@@ -1,0 +1,22 @@
+// Package delays exercises the distliteral rule: distribution values must
+// come from the dist.New* constructors, never from composite literals.
+package delays
+
+import "fixture/dist"
+
+// Bad constructs distributions literally, bypassing validation.
+func Bad() []dist.Distribution {
+	e := dist.Exponential{RateVal: 2} // want distliteral
+	u := &dist.Uniform{Lo: 1, Hi: 3}  // want distliteral
+	zs := []dist.Distribution{
+		dist.Exponential{}, // want distliteral
+	}
+	return append(zs, e, u)
+}
+
+// Good obtains every distribution from a constructor; argument records like
+// dist.Component carry no invariants of their own and stay constructible.
+func Good() []dist.Distribution {
+	c := dist.Component{Weight: 1, Dist: dist.NewExponential(4)}
+	return []dist.Distribution{c.Dist, dist.NewUniform(1, 3)}
+}

@@ -1,0 +1,33 @@
+// Package dist is a miniature stand-in for the real distribution package,
+// just large enough for the distliteral rule to resolve its types and
+// constructors against it. Composite literals inside this package (the
+// constructors' own bodies) are exempt, exactly as in the real package.
+package dist
+
+// Distribution is the delay interface.
+type Distribution interface{ Mean() float64 }
+
+// Exponential is a memoryless delay.
+type Exponential struct{ RateVal float64 }
+
+// Mean returns the expected delay.
+func (e Exponential) Mean() float64 { return 1 / e.RateVal }
+
+// NewExponential constructs a validated Exponential from its mean.
+func NewExponential(mean float64) Exponential { return Exponential{RateVal: 1 / mean} }
+
+// Uniform is a window delay.
+type Uniform struct{ Lo, Hi float64 }
+
+// Mean returns the window midpoint.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// NewUniform constructs a validated Uniform.
+func NewUniform(lo, hi float64) Uniform { return Uniform{Lo: lo, Hi: hi} }
+
+// Component is a plain argument record (a weighted mixture branch); it does
+// not implement Distribution, so literals of it are not flagged.
+type Component struct {
+	Weight float64
+	Dist   Distribution
+}

@@ -85,6 +85,15 @@ type DiskConfig struct {
 	MTBFHours float64
 	// ReplaceHours is the mean replacement/rebuild time.
 	ReplaceHours float64
+	// ErlangReplaceStages, when >= 2, draws the replacement time from an
+	// Erlang with this many exponential stages and mean ReplaceHours — the
+	// multi-stage swap-and-rebuild process, with variance between the
+	// deterministic default and the fully exponential form. It takes
+	// precedence over ExponentialReplace. The tier family is then not
+	// lumpable (the per-replica delay is non-exponential), but the verdict
+	// reports the exact phase-type remedy san.ExpandPhases applies to the
+	// flat form.
+	ErlangReplaceStages int
 	// ExponentialReplace draws the replacement time from an exponential with
 	// mean ReplaceHours instead of the deterministic default. Required (with
 	// ShapeBeta 1) for the lumped tier representation, and the regime the
@@ -96,6 +105,9 @@ type DiskConfig struct {
 
 // replaceDist returns the replacement-time distribution.
 func (d DiskConfig) replaceDist() (dist.Distribution, error) {
+	if d.ErlangReplaceStages >= 2 {
+		return dist.NewErlang(d.ErlangReplaceStages, float64(d.ErlangReplaceStages)/d.ReplaceHours)
+	}
 	if d.ExponentialReplace {
 		return dist.NewExponentialFromMean(d.ReplaceHours)
 	}
@@ -109,6 +121,9 @@ func (d DiskConfig) AFR() float64 { return dist.HoursPerYear / d.MTBFHours }
 func (d DiskConfig) Validate() error {
 	if !(d.ShapeBeta > 0) || !(d.MTBFHours > 0) || !(d.ReplaceHours > 0) || !(d.CapacityGB > 0) {
 		return fmt.Errorf("%w: disk %+v", ErrBadConfig, d)
+	}
+	if d.ErlangReplaceStages < 0 || d.ErlangReplaceStages == 1 {
+		return fmt.Errorf("%w: ErlangReplaceStages must be 0 (off) or >= 2, got %d", ErrBadConfig, d.ErlangReplaceStages)
 	}
 	return nil
 }

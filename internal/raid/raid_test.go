@@ -632,3 +632,50 @@ func TestRepairCrewsCapBacklog(t *testing.T) {
 		t.Errorf("time-averaged busy crews = %v, want in (0, 1] for one crew", busy)
 	}
 }
+
+// TestDiskErlangReplace pins the Erlang replacement knob: validation
+// rejects the degenerate stage counts, the replacement distribution becomes
+// an Erlang of the configured mean, and the tier verdict names the exact
+// phase-type remedy instead of a bare refusal.
+func TestDiskErlangReplace(t *testing.T) {
+	d := DefaultDisk()
+	d.ErlangReplaceStages = 4
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Erlang replacement rejected: %v", err)
+	}
+	rd, err := d.replaceDist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := rd.(dist.Gamma)
+	if !ok {
+		t.Fatalf("replaceDist returned %T, want dist.Gamma", rd)
+	}
+	if math.Abs(g.Mean()-d.ReplaceHours) > 1e-9 {
+		t.Errorf("Erlang replacement mean = %v, want %v", g.Mean(), d.ReplaceHours)
+	}
+	d.ErlangReplaceStages = 1
+	if err := d.Validate(); err == nil {
+		t.Error("single-stage Erlang accepted; that is the exponential form")
+	}
+	d.ErlangReplaceStages = -2
+	if err := d.Validate(); err == nil {
+		t.Error("negative stage count accepted")
+	}
+
+	cfg := ABEStorage()
+	cfg.Disk.ErlangReplaceStages = 4
+	v := cfg.TierLumpability()
+	if v.Lumpable {
+		t.Error("Erlang replacement must break tier lumpability")
+	}
+	found := false
+	for _, r := range v.Reasons {
+		if strings.Contains(r, "disk_replace") && strings.Contains(r, "exactly expandable into 4 exponential phases") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("tier verdict must name the phase-type remedy, got %v", v.Reasons)
+	}
+}

@@ -51,6 +51,14 @@ func DelayLumpability(label string, d dist.Distribution) string {
 	case nil:
 		return fmt.Sprintf("%s: %s has no delay distribution", ReasonNonExponential, label)
 	default:
+		// Gamma/Sum delays with an exact finite phase-type form are still
+		// non-memoryless here (lumping and the CTMC tier need exponentials as
+		// written), but the verdict names the remedy: ExpandPhases rewrites
+		// them into that many exponential stages.
+		if k, ok := PhaseExpandable(d); ok {
+			return fmt.Sprintf("%s: %s %s (exactly expandable into %d exponential phases)",
+				ReasonNonExponential, label, dist.Describe(d), k)
+		}
 		return fmt.Sprintf("%s: %s %s", ReasonNonExponential, label, dist.Describe(d))
 	}
 }

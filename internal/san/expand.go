@@ -1,0 +1,554 @@
+package san
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+)
+
+// This file is the certified phase-type expansion pass: a static
+// model-to-model transformation that rewrites non-exponential delays with an
+// exact finite phase-type form — Erlang (integer-shape Gamma) and
+// sums of exponential stages (hypoexponential) — into chains of per-phase
+// exponential activities through fresh phase places, so the structural
+// certificate tier (internal/statespace) can prove and solve models the
+// memoryless precondition used to refuse outright.
+//
+// The exactness argument, per expanded activity A with stage rates
+// λ_1..λ_k:
+//
+//   - A chain activity fires per stage: stage 1 is enabled exactly when A's
+//     input arcs are satisfied and no phase token exists; each completion
+//     moves the single phase token one place down the chain; the final stage
+//     is A itself, with its delay replaced by Exponential(λ_k) and one extra
+//     input arc from the last phase place. Total time from chain start to
+//     A's completion is the sum of k independent exponentials — precisely
+//     A's original Erlang/hypoexponential delay.
+//   - Tokens stay in A's input places for the whole chain and are consumed,
+//     as before, only when A itself completes; A keeps its name, input arcs,
+//     gatelessness, and cases. Rate rewards (which read places), impulse
+//     rewards (which are keyed by activity name), case probabilities, and
+//     output transforms therefore observe markings and completions that are
+//     distributionally identical to the original model's.
+//   - The rewrite is exact only if A's enabling cannot be withdrawn while
+//     the chain runs (the original would cancel and later resample the whole
+//     delay; a half-walked chain would not). ExpandPhases proves this
+//     statically: A must not reactivate, must have no input gates, and no
+//     other activity may consume from — and no gate transform may write —
+//     any of A's input places. Other activities' output arcs only add
+//     tokens, which cannot disable an input arc. Anything the proof does not
+//     cover is refused with a classified RefusalNonExpandable reason, never
+//     expanded approximately.
+//
+// The pass appends its evidence (original distribution → phase count →
+// stage rates) to the solver certificate via Certificate.Expansions, and
+// Verify re-checks the proof obligation that every activity it touched ended
+// up memoryless.
+
+// ErrExpansionUnsound reports a violated expansion proof obligation: an
+// activity the pass claims to have expanded does not have a memoryless
+// delay. It indicates a bug in the pass itself, never a property of the
+// input model.
+var ErrExpansionUnsound = fmt.Errorf("san: phase expansion proof obligation violated")
+
+// maxExpansionPhases bounds the chain length one activity may expand into;
+// beyond it the state-space blow-up defeats the point of solving the model
+// numerically, so the pass refuses instead (classified, like every refusal).
+const maxExpansionPhases = 64
+
+// integerShapeTol is the tolerance for recognizing an integer Gamma shape;
+// shapes come from calibrated literals (2, 3, ...) so anything further from
+// an integer than this is a genuinely non-Erlang Gamma.
+const integerShapeTol = 1e-9
+
+// ExpansionReport is the expansion certificate ExpandPhases emits: evidence
+// for every rewritten activity and a classified refusal for every
+// non-memoryless activity it could not rewrite exactly. Activities that were
+// already memoryless appear in neither list.
+type ExpansionReport struct {
+	// Expanded holds one evidence string per rewritten activity: the
+	// original distribution, the phase count, and the stage rates. Callers
+	// append it to san.Certificate.Expansions.
+	Expanded []string `json:"expanded,omitempty"`
+	// Refusals holds one RefusalNonExpandable-prefixed reason per
+	// non-memoryless activity the pass had to leave in place.
+	Refusals []string `json:"refusals,omitempty"`
+	// touched names every activity the pass created or mutated, for the
+	// Verify proof obligation.
+	touched []string
+}
+
+// Touched returns the names of every activity the pass created or rewrote,
+// in deterministic (declaration) order.
+func (r *ExpansionReport) Touched() []string {
+	return append([]string(nil), r.touched...)
+}
+
+// Verify is the analyzer rule behind the expansion's proof obligation: every
+// activity the pass created or rewrote must exist in m and carry a fixed
+// memoryless delay. ExpandPhases runs it before returning, and callers that
+// hand the expanded model to a solver may re-run it as a defense-in-depth
+// check (statespace.Certify additionally re-proves memorylessness over every
+// reachable marking, so an unsound expansion cannot reach the solver even if
+// this rule were wrong).
+func (r *ExpansionReport) Verify(m *Model) error {
+	for _, name := range r.touched {
+		a := m.Activity(name)
+		if a == nil {
+			return fmt.Errorf("%w: expanded activity %q missing from model", ErrExpansionUnsound, name)
+		}
+		if reason := DelayLumpability(fmt.Sprintf("activity %q", name), a.fixedDelay); reason != "" {
+			return fmt.Errorf("%w: %s", ErrExpansionUnsound, reason)
+		}
+	}
+	return nil
+}
+
+// PhaseExpandable reports whether d has an exact finite representation as a
+// chain of exponential phases, and with how many. Erlang (integer-shape
+// Gamma) expands into shape stages; a Sum expands into the concatenation of
+// its parts' stages when every part expands; exponentials (including the
+// shape-1 Weibull and shape-1 Gamma) are a single stage. Uniform windows,
+// deterministic timers, Weibull wear-out, and non-integer Gamma shapes have
+// no exact finite phase-type form.
+func PhaseExpandable(d dist.Distribution) (int, bool) {
+	rates, ok := phaseRates(d)
+	return len(rates), ok
+}
+
+// phaseRates flattens d into its exact exponential stage rates, in the order
+// the stages elapse.
+func phaseRates(d dist.Distribution) ([]float64, bool) {
+	switch v := d.(type) {
+	case dist.Exponential:
+		return []float64{v.Rate()}, true
+	case dist.Weibull:
+		if v.Shape() == 1 {
+			return []float64{1 / v.Mean()}, true
+		}
+		return nil, false
+	case dist.Gamma:
+		k := math.Round(v.Shape())
+		if k < 1 || math.Abs(v.Shape()-k) > integerShapeTol {
+			return nil, false
+		}
+		rates := make([]float64, int(k))
+		for i := range rates {
+			rates[i] = 1 / v.Scale()
+		}
+		return rates, true
+	case dist.Sum:
+		var rates []float64
+		for _, part := range v.Parts() {
+			pr, ok := phaseRates(part)
+			if !ok {
+				return nil, false
+			}
+			rates = append(rates, pr...)
+		}
+		return rates, true
+	default:
+		return nil, false
+	}
+}
+
+// staticMarking adapts a token vector to MarkingReader for evaluating
+// marking-dependent closures at a fixed marking.
+type staticMarking []int
+
+func (sm staticMarking) Tokens(p *Place) int {
+	if p == nil || p.index < 0 || p.index >= len(sm) {
+		return 0
+	}
+	return sm[p.index]
+}
+
+// ExpandPhases rewrites, in place, every timed activity of m whose delay has
+// an exact finite phase-type form (Erlang, sum of exponential stages) into a
+// chain of per-phase exponential activities, and reports classified
+// refusals for every non-memoryless delay it had to leave alone. It must run
+// on the model builder before Compile; the returned report carries the
+// per-activity evidence to append to the solver certificate.
+//
+// Every activity classifies via DelayLumpability first: memoryless delays
+// are untouched, and non-memoryless delays either expand exactly or produce
+// a RefusalNonExpandable reason naming the distribution or the structural
+// precondition that failed. The pass never changes the distribution of any
+// observable quantity — see the exactness argument at the top of this file.
+func ExpandPhases(m *Model) (*ExpansionReport, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("san: expand phases: %w", err)
+	}
+	report := &ExpansionReport{}
+
+	// Static write/consume discovery for the stable-enabling proof: which
+	// places does any gate transform write, and how many activities consume
+	// (input-arc) each place. Probing runs every transform against synthetic
+	// markings with panic recovery, exactly like Analyze.
+	ps := newProbeSet(len(m.places))
+	bases := baseMarkings(m.InitialMarking())
+	for _, a := range m.activities {
+		for _, g := range a.inputGates {
+			if g.Transform != nil {
+				fn := g.Transform
+				ps.probe(bases, func(pm *probeMarking) { fn(pm) })
+			}
+		}
+		for _, c := range a.cases {
+			for _, og := range c.OutputGates {
+				if og.Transform != nil {
+					fn := og.Transform
+					ps.probe(bases, func(pm *probeMarking) { fn(pm) })
+				}
+			}
+		}
+	}
+	consumers := make([]int, len(m.places))
+	for _, a := range m.activities {
+		for _, arc := range a.inputArcs {
+			consumers[arc.Place.index]++
+		}
+	}
+
+	refuse := func(a *Activity, format string, args ...any) {
+		report.Refusals = append(report.Refusals, fmt.Sprintf(
+			"%s: activity %q: %s", RefusalNonExpandable, a.name, fmt.Sprintf(format, args...)))
+	}
+
+	// Snapshot the activity list: the rewrite appends stage activities that
+	// must not themselves be revisited.
+	original := append([]*Activity(nil), m.activities...)
+	for _, a := range original {
+		if a.kind != Timed {
+			continue
+		}
+		d := a.fixedDelay
+		if d == nil {
+			// Marking-dependent delay (AddTimedActivityFunc): nothing static
+			// to expand. Memoryless-at-initial-marking delays (the lumped
+			// aggregate activities) are the certificate tier's business;
+			// anything else is refused here with the classification.
+			if reason := delayLumpabilityAt(a, m.InitialMarking()); reason != "" {
+				refuse(a, "marking-dependent delay is not statically expandable (%s)", reason)
+			}
+			continue
+		}
+		if DelayLumpability("delay", d) == "" {
+			continue // already memoryless
+		}
+		rates, ok := phaseRates(d)
+		if !ok {
+			refuse(a, "%s has no exact finite phase-type form", dist.Describe(d))
+			continue
+		}
+		if len(rates) > maxExpansionPhases {
+			refuse(a, "%s needs %d phases, beyond the %d-phase budget",
+				dist.Describe(d), len(rates), maxExpansionPhases)
+			continue
+		}
+		// Structural preconditions for exactness (see the argument above).
+		// A single-stage rewrite swaps the delay for a literally identical
+		// exponential, so stability of enabling is irrelevant there.
+		if len(rates) > 1 {
+			if a.reactivate {
+				refuse(a, "reactivation resamples the whole %s on marking changes; a phase chain cannot", dist.Describe(d))
+				continue
+			}
+			if len(a.inputGates) > 0 {
+				refuse(a, "input-gate enabling cannot be proven stable across the phase chain")
+				continue
+			}
+			if ps.opaque && len(a.inputArcs) > 0 {
+				refuse(a, "a gate transform is unanalyzable, so enabling stability cannot be proven")
+				continue
+			}
+			unstable := ""
+			for _, arc := range a.inputArcs {
+				if consumers[arc.Place.index] > 1 {
+					unstable = fmt.Sprintf("input place %q has other consumers", arc.Place.name)
+					break
+				}
+				if !ps.opaque && ps.writes[arc.Place.index] {
+					unstable = fmt.Sprintf("input place %q is written by a gate transform", arc.Place.name)
+					break
+				}
+			}
+			if unstable != "" {
+				refuse(a, "%s, so enabling stability cannot be proven", unstable)
+				continue
+			}
+		}
+		if err := expandActivity(m, a, rates); err != nil {
+			return nil, err
+		}
+		report.Expanded = append(report.Expanded, fmt.Sprintf(
+			"activity %q: %s expanded into %d exponential phase(s) at rates %s",
+			a.name, dist.Describe(d), len(rates), formatRates(rates)))
+		report.touched = append(report.touched, a.name)
+		for i := 1; i < len(rates); i++ {
+			report.touched = append(report.touched, phaseName(a.name, i))
+		}
+	}
+	if err := report.Verify(m); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// delayLumpabilityAt classifies a marking-dependent delay at a fixed
+// marking, converting evaluation panics into a non-memoryless verdict.
+func delayLumpabilityAt(a *Activity, marking []int) (reason string) {
+	defer func() {
+		if recover() != nil {
+			reason = fmt.Sprintf("%s: delay evaluation panicked at the initial marking", ReasonNonExponential)
+		}
+	}()
+	return DelayLumpability("delay at the initial marking", a.DelayAt(staticMarking(marking)))
+}
+
+// expandActivity performs the chain rewrite for one activity: fresh phase
+// places, one gate-guarded first stage, pass-through middle stages, and the
+// original activity — delay swapped for the final exponential stage — as the
+// chain's last link.
+func expandActivity(m *Model, a *Activity, rates []float64) error {
+	stageDelay := func(rate float64) (dist.Distribution, error) {
+		e, err := dist.NewExponentialFromRate(rate)
+		if err != nil {
+			return nil, fmt.Errorf("san: expand phases: activity %q: %w", a.name, err)
+		}
+		return e, nil
+	}
+	k := len(rates)
+	last, err := stageDelay(rates[k-1])
+	if err != nil {
+		return err
+	}
+	if k == 1 {
+		a.delay = func(MarkingReader) dist.Distribution { return last }
+		a.fixedDelay = last
+		return nil
+	}
+	phases := make([]*Place, k-1)
+	for i := range phases {
+		p, err := m.AddPlaceErr(phaseName(a.name, i+1), 0)
+		if err != nil {
+			return fmt.Errorf("san: expand phases: %w", err)
+		}
+		phases[i] = p
+	}
+	// Stage 1 starts the chain exactly when the original activity would have
+	// become enabled: all input arcs satisfied (checked, not consumed — the
+	// tokens stay put until the final stage completes) and no phase pending.
+	arcs := append([]Arc(nil), a.inputArcs...)
+	reads := make([]*Place, 0, len(arcs)+len(phases))
+	for _, arc := range arcs {
+		reads = append(reads, arc.Place)
+	}
+	reads = append(reads, phases...)
+	first, err := stageDelay(rates[0])
+	if err != nil {
+		return err
+	}
+	m.AddTimedActivity(phaseName(a.name, 1), first).
+		AddInputGate(&InputGate{
+			Name:  phaseName(a.name, 1) + "/ig",
+			Reads: reads,
+			Enabled: func(mr MarkingReader) bool {
+				for _, arc := range arcs {
+					if mr.Tokens(arc.Place) < arc.Mult {
+						return false
+					}
+				}
+				for _, p := range phases {
+					if mr.Tokens(p) > 0 {
+						return false
+					}
+				}
+				return true
+			},
+		}).
+		AddOutputArc(phases[0], 1)
+	for i := 2; i < k; i++ {
+		mid, err := stageDelay(rates[i-1])
+		if err != nil {
+			return err
+		}
+		m.AddTimedActivity(phaseName(a.name, i), mid).
+			AddInputArc(phases[i-2], 1).
+			AddOutputArc(phases[i-1], 1)
+	}
+	a.AddInputArc(phases[k-2], 1)
+	a.delay = func(MarkingReader) dist.Distribution { return last }
+	a.fixedDelay = last
+	return nil
+}
+
+// ExpandPhases rewrites every transition of a replica class whose delay has
+// an exact finite phase-type form into a chain of exponential stage
+// transitions through fresh local phase states, so the class passes
+// ReplicateLumped's memoryless check and the population stays counted —
+// phases become local states, and a petascale point keeps costing per state
+// class rather than per replica.
+//
+// Exactness mirrors the activity-level pass, with the races made explicit:
+// a replica that starts a chain leaves the From state, so every competing
+// transition out of From is replicated from each phase state at its original
+// rate — competitors are exponential (anything else fails the class), so
+// walking the chain does not age them, and a competitor firing mid-chain
+// discards the phase progress exactly as the original class discards the
+// pending phase-type clock when the replica leaves From. The transition's
+// Effect fires on the final stage only, preserving shared-place side-effect
+// semantics. The returned evidence strings parallel the model-level report.
+//
+// Two phase-type transitions out of the same From state would race two
+// chains against each other and are refused (RefusalNonExpandable inside the
+// returned error) rather than expanded approximately.
+func (c ReplicaClass) ExpandPhases() (ReplicaClass, []string, error) {
+	out := ReplicaClass{
+		States:  append([]string(nil), c.States...),
+		Initial: c.Initial,
+	}
+	// First pass: locate the phase-type transitions and refuse ambiguous
+	// races before rewriting anything. Refusal order matters for the
+	// messages: two chains out of one state is the structural problem, so it
+	// is detected before either chain complains about the other as a
+	// competitor.
+	expandable := make([]bool, len(c.Transitions))
+	stages := make([][]float64, len(c.Transitions))
+	for i, tr := range c.Transitions {
+		if _, ok := tr.Delay.(dist.Exponential); ok {
+			continue
+		}
+		rates, ok := phaseRates(tr.Delay)
+		if !ok {
+			return ReplicaClass{}, nil, fmt.Errorf("%w: %s: transition %q: %s has no exact finite phase-type form",
+				ErrNonExponential, RefusalNonExpandable, tr.Name, dist.Describe(tr.Delay))
+		}
+		if len(rates) > maxExpansionPhases {
+			return ReplicaClass{}, nil, fmt.Errorf("%w: %s: transition %q: %s needs %d phases, beyond the %d-phase budget",
+				ErrNonExponential, RefusalNonExpandable, tr.Name, dist.Describe(tr.Delay), len(rates), maxExpansionPhases)
+		}
+		expandable[i] = true
+		stages[i] = rates
+	}
+	chainFrom := make(map[string]string, len(c.Transitions))
+	for i, tr := range c.Transitions {
+		if !expandable[i] || len(stages[i]) <= 1 {
+			continue
+		}
+		if prev, dup := chainFrom[tr.From]; dup {
+			return ReplicaClass{}, nil, fmt.Errorf("%w: %s: transitions %q and %q both need phase chains out of state %q",
+				ErrNonExponential, RefusalNonExpandable, prev, tr.Name, tr.From)
+		}
+		chainFrom[tr.From] = tr.Name
+	}
+	// At this point every competitor of a chain is memoryless once the
+	// rewrite runs: the first loop refused everything without a finite phase
+	// form, the chain map refused a second multi-stage transition out of the
+	// same state, and single-stage expandables are swapped for their
+	// exponential before they are copied — so the race argument in the
+	// doc comment holds for every replicated competitor.
+	var evidence []string
+	for i, tr := range c.Transitions {
+		if !expandable[i] {
+			out.Transitions = append(out.Transitions, tr)
+			continue
+		}
+		rates := stages[i]
+		k := len(rates)
+		stage := func(rate float64) (dist.Distribution, error) {
+			e, err := dist.NewExponentialFromRate(rate)
+			if err != nil {
+				return nil, fmt.Errorf("san: expand phases: transition %q: %w", tr.Name, err)
+			}
+			return e, nil
+		}
+		last, err := stage(rates[k-1])
+		if err != nil {
+			return ReplicaClass{}, nil, err
+		}
+		if k == 1 {
+			tr.Delay = last
+			out.Transitions = append(out.Transitions, tr)
+			evidence = append(evidence, fmt.Sprintf(
+				"transition %q (%s -> %s): %s expanded into 1 exponential phase(s) at rates %s",
+				tr.Name, tr.From, tr.To, dist.Describe(c.Transitions[i].Delay), formatRates(rates)))
+			continue
+		}
+		phaseStates := make([]string, k-1)
+		for j := range phaseStates {
+			phaseStates[j] = phaseName(tr.Name, j+1)
+			out.States = append(out.States, phaseStates[j])
+		}
+		from := tr.From
+		for j := 0; j < k; j++ {
+			d, err := stage(rates[j])
+			if err != nil {
+				return ReplicaClass{}, nil, err
+			}
+			st := ReplicaTransition{From: from, Delay: d}
+			if j == k-1 {
+				// The final stage keeps the transition's name, destination,
+				// and side effect, so LumpedPlaces.ActivityName and shared
+				// counters behave exactly as for the unexpanded class.
+				st.Name, st.To, st.Effect = tr.Name, tr.To, tr.Effect
+			} else {
+				st.Name, st.To = phaseStates[j], phaseStates[j]
+				from = phaseStates[j]
+			}
+			out.Transitions = append(out.Transitions, st)
+		}
+		// Replicate every competitor out of From from each phase state,
+		// preserving the original race (memorylessness makes the per-phase
+		// copies one clock). A single-stage expandable competitor is copied
+		// as the exponential its own rewrite swaps in.
+		for j, o := range c.Transitions {
+			if j == i || o.From != tr.From {
+				continue
+			}
+			od := o.Delay
+			if expandable[j] && len(stages[j]) == 1 {
+				e, err := dist.NewExponentialFromRate(stages[j][0])
+				if err != nil {
+					return ReplicaClass{}, nil, fmt.Errorf("san: expand phases: transition %q: %w", o.Name, err)
+				}
+				od = e
+			}
+			for _, ph := range phaseStates {
+				out.Transitions = append(out.Transitions, ReplicaTransition{
+					Name:   o.Name + "@" + ph,
+					From:   ph,
+					To:     o.To,
+					Delay:  od,
+					Effect: o.Effect,
+				})
+			}
+		}
+		evidence = append(evidence, fmt.Sprintf(
+			"transition %q (%s -> %s): %s expanded into %d exponential phase(s) at rates %s",
+			tr.Name, tr.From, tr.To, dist.Describe(tr.Delay), k, formatRates(rates)))
+	}
+	if err := out.Validate(); err != nil {
+		return ReplicaClass{}, nil, fmt.Errorf("%w: expanded class invalid: %v", ErrExpansionUnsound, err)
+	}
+	return out, evidence, nil
+}
+
+// phaseName names the i-th stage activity (and its feeding phase place) of
+// an expanded activity.
+func phaseName(activity string, i int) string {
+	return fmt.Sprintf("%s/phase%d", activity, i)
+}
+
+// formatRates renders stage rates compactly for evidence strings.
+func formatRates(rates []float64) string {
+	out := ""
+	for i, r := range rates {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%g/h", r)
+	}
+	return "[" + out + "]"
+}

@@ -137,10 +137,15 @@ func (k ActivityKind) String() string {
 
 // Activity is a state-changing unit of a SAN.
 type Activity struct {
-	name       string
-	kind       ActivityKind
-	index      int
-	delay      DelayFunc
+	name  string
+	kind  ActivityKind
+	index int
+	delay DelayFunc
+	// fixedDelay records the marking-independent distribution behind delay
+	// when the activity was built with AddTimedActivity; it stays nil for
+	// AddTimedActivityFunc activities. Static passes (ExpandPhases) need the
+	// distribution itself, not just samples from it.
+	fixedDelay dist.Distribution
 	inputArcs  []Arc
 	inputGates []*InputGate
 	cases      []Case
@@ -290,7 +295,9 @@ func (m *Model) Activities() []*Activity { return m.activities }
 
 // AddTimedActivity creates a timed activity with a fixed delay distribution.
 func (m *Model) AddTimedActivity(name string, delay dist.Distribution) *Activity {
-	return m.addActivity(name, Timed, func(MarkingReader) dist.Distribution { return delay })
+	a := m.addActivity(name, Timed, func(MarkingReader) dist.Distribution { return delay })
+	a.fixedDelay = delay
+	return a
 }
 
 // AddTimedActivityFunc creates a timed activity whose delay distribution is

@@ -48,6 +48,13 @@ func (a *Activity) DelayAt(m MarkingReader) dist.Distribution {
 	return a.delay(m)
 }
 
+// FixedDelay returns the marking-independent delay distribution the activity
+// was built with (AddTimedActivity), or nil when the delay is re-evaluated
+// from the marking (AddTimedActivityFunc) or the activity is instantaneous.
+// Static passes that need the distribution object itself — not a sample —
+// start here.
+func (a *Activity) FixedDelay() dist.Distribution { return a.fixedDelay }
+
 // Enabled reports whether the activity is enabled in marking m: every input
 // arc satisfied and every input-gate predicate true. This is exactly the
 // simulator's enabling test.
@@ -122,6 +129,14 @@ const (
 	// panicking gate closure, an instantaneous closure that never
 	// stabilized).
 	RefusalExploration = "exploration"
+	// RefusalNonExpandable: the phase-type expansion pass (ExpandPhases)
+	// found a non-memoryless delay it cannot rewrite into an exact chain of
+	// exponential phases — a distribution with no finite phase-type form
+	// (uniform window, deterministic activation, Weibull wear-out,
+	// non-integer Gamma shape) or an activity whose structure defeats the
+	// expansion's exactness argument (reactivation, input gates, an input
+	// place other activities consume or gates write).
+	RefusalNonExpandable = "non-expandable"
 )
 
 // Proof kinds of a PlaceBound.
@@ -180,6 +195,11 @@ type Certificate struct {
 	// Refusals lists the structured reasons the certificate was refused,
 	// each prefixed with one of the Refusal* constants. Empty iff Certified.
 	Refusals []string `json:"refusals,omitempty"`
+	// Expansions holds the phase-type expansion evidence when the certified
+	// model is the image of ExpandPhases: one string per rewritten activity,
+	// recording the original distribution, the phase count, and the stage
+	// rates. Empty when the model certified as built.
+	Expansions []string `json:"expansions,omitempty"`
 }
 
 // Certified reports whether every solver precondition holds.
@@ -188,8 +208,12 @@ func (c Certificate) Certified() bool { return c.Memoryless && c.VanishingFree &
 // Summary renders the certificate in one line, for text reports.
 func (c Certificate) Summary() string {
 	if c.Certified() {
-		return fmt.Sprintf("certified: %d states, %d transitions, %d P-invariants, %d T-invariants",
-			c.States, c.Transitions, c.PInvariants, c.TInvariants)
+		expanded := ""
+		if n := len(c.Expansions); n > 0 {
+			expanded = fmt.Sprintf(" (after phase expansion of %d activities)", n)
+		}
+		return fmt.Sprintf("certified%s: %d states, %d transitions, %d P-invariants, %d T-invariants",
+			expanded, c.States, c.Transitions, c.PInvariants, c.TInvariants)
 	}
 	if len(c.Refusals) == 0 {
 		return "refused"

@@ -191,8 +191,11 @@ func Certify(cm *san.CompiledModel, opts Options) (*Generator, san.Certificate) 
 		cert.Bounded = false
 		uncovered := inv.uncoveredPlaces(cm)
 		if len(uncovered) > 0 {
-			if len(uncovered) > maxRefusalPlacesListed {
-				uncovered = append(uncovered[:maxRefusalPlacesListed], "...")
+			if n := len(uncovered); n > maxRefusalPlacesListed {
+				// The truncation must be visible: a refusal naming 8 of 900
+				// uncovered places would read as if it named all of them.
+				uncovered = append(uncovered[:maxRefusalPlacesListed],
+					fmt.Sprintf("... and %d more", n-maxRefusalPlacesListed))
 			}
 			cert.Refusals = append(cert.Refusals, fmt.Sprintf(
 				"%s: exploration exceeded %d states and no place invariant bounds %v",
@@ -262,6 +265,12 @@ func activityRate(a *san.Activity, m san.MarkingReader) (rate float64, err error
 	case nil:
 		return 0, fmt.Errorf("activity %q: nil delay", a.Name())
 	default:
+		// Name the remedy when one exists: a refusal over an exactly
+		// expandable delay points the reader (and the solver tier's retry)
+		// at san.ExpandPhases.
+		if k, ok := san.PhaseExpandable(d); ok {
+			return 0, fmt.Errorf("activity %q: %T delay (exactly expandable into %d exponential phases)", a.Name(), d, k)
+		}
 		return 0, fmt.Errorf("activity %q: %T delay", a.Name(), d)
 	}
 }
@@ -284,4 +293,34 @@ func sortedPlaceNames(cm *san.CompiledModel, idx []int) []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// CertifyExpanded is the certificate tier's entry point for the phase-type
+// expansion pass: it runs san.ExpandPhases on the (uncompiled) model builder,
+// compiles the expanded image against the given rewards, and certifies it.
+// The expansion evidence lands in Certificate.Expansions and, when the
+// expanded model is still refused, the pass's classified non-expandable
+// reasons are appended after the certificate's own refusals — so a reader
+// sees both what was proven non-memoryless and why it could not be fixed.
+//
+// The model is mutated in place; callers that also need the original model
+// (e.g. for a simulation fallback that must stay bit-identical to the
+// unexpanded build) must build a fresh one for this call. The error return
+// covers structural failures only (invalid model, unsound expansion, compile
+// failure) — a refused certificate is a result, not an error.
+func CertifyExpanded(m *san.Model, rewards []san.RewardVariable, opts Options) (*Generator, san.Certificate, *san.ExpansionReport, error) {
+	rep, err := san.ExpandPhases(m)
+	if err != nil {
+		return nil, san.Certificate{}, nil, err
+	}
+	cm, err := san.Compile(m, rewards)
+	if err != nil {
+		return nil, san.Certificate{}, nil, fmt.Errorf("statespace: compile expanded model: %w", err)
+	}
+	gen, cert := Certify(cm, opts)
+	cert.Expansions = append([]string(nil), rep.Expanded...)
+	if !cert.Certified() {
+		cert.Refusals = append(cert.Refusals, rep.Refusals...)
+	}
+	return gen, cert, rep, nil
 }

@@ -1,6 +1,7 @@
 package statespace_test
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -305,6 +306,41 @@ func TestRefuseUnbounded(t *testing.T) {
 		t.Fatalf("token source certified: %s", cert.Summary())
 	}
 	requireRefusalPrefix(t, cert, san.RefusalUnbounded)
+}
+
+// TestRefuseUnboundedTruncatesPlaceList: with more uncovered places than
+// the refusal lists, the truncation is explicit — the refusal ends with
+// "... and N more" instead of silently reading as a complete list.
+func TestRefuseUnboundedTruncatesPlaceList(t *testing.T) {
+	m := san.NewModel("many-sources")
+	const sources = 11
+	rewards := make([]san.RewardVariable, 0, sources)
+	for i := 0; i < sources; i++ {
+		q := m.AddPlace(fmt.Sprintf("queue%02d", i), 0)
+		m.AddTimedActivity(fmt.Sprintf("arrive%02d", i), mustExpRate(t, 1)).AddOutputArc(q, 1)
+		rewards = append(rewards, san.TokenTimeAverage(q.Name(), q))
+	}
+	cm, err := san.Compile(m, rewards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, cert := statespace.Certify(cm, statespace.Options{MaxStates: 32})
+	if gen != nil || cert.Bounded {
+		t.Fatalf("token sources certified: %s", cert.Summary())
+	}
+	requireRefusalPrefix(t, cert, san.RefusalUnbounded)
+	var refusal string
+	for _, r := range cert.Refusals {
+		if strings.HasPrefix(r, san.RefusalUnbounded) {
+			refusal = r
+		}
+	}
+	if !strings.Contains(refusal, "... and 3 more") {
+		t.Fatalf("refusal must state the truncation (11 uncovered, 8 listed): %q", refusal)
+	}
+	if strings.Count(refusal, "queue") != 8 {
+		t.Fatalf("refusal must list exactly 8 places: %q", refusal)
+	}
 }
 
 // TestRefuseBudget: a provably finite model larger than the state budget is

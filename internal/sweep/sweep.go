@@ -24,6 +24,7 @@ package sweep
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/abe"
@@ -163,6 +164,30 @@ func (pp *pointPlan) build(cfg abe.Config) {
 	})
 }
 
+// hasPrefix reports whether any refusal string starts with the given
+// san.Refusal* classification prefix.
+func hasPrefix(refusals []string, prefix string) bool {
+	for _, r := range refusals {
+		if strings.HasPrefix(r, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// expandedCertify builds a fresh model for cfg, runs the phase-type
+// expansion pass over it, and certifies the expanded image
+// (statespace.CertifyExpanded). The fresh build keeps the point's original
+// compiled model untouched for the simulation fallback.
+func expandedCertify(cfg abe.Config) (*statespace.Generator, san.Certificate, *san.ExpansionReport, error) {
+	model := san.NewModel(cfg.Name)
+	mp, err := abe.Build(model, cfg)
+	if err != nil {
+		return nil, san.Certificate{}, nil, err
+	}
+	return statespace.CertifyExpanded(model, mp.Rewards(), statespace.Options{})
+}
+
 // Run evaluates every point of the sweep under the given study options
 // (opts.Seed is the sweep-level master seed; opts.Parallelism sizes the
 // shared worker pool). It returns per-point measures in input order.
@@ -217,6 +242,21 @@ func Run(points []Point, opts san.Options) (*Result, error) {
 			return nil, fmt.Errorf("sweep: point %d (%s): %w", i, pt.label(), pp.buildErr)
 		}
 		gen, cert := statespace.Certify(pp.compiled, statespace.Options{})
+		if !cert.Certified() && hasPrefix(cert.Refusals, san.RefusalNonMemoryless) {
+			// Phase-type expansion retry: rebuild the point's model fresh
+			// (ExpandPhases mutates its input and the simulation fallback
+			// must keep the original compiled model bit-identical), expand,
+			// and certify the expanded image. When the pass rewrote nothing
+			// the original certificate stands; when it did, the expanded
+			// certificate — evidence, refusals, and all — replaces it.
+			exGen, exCert, rep, err := expandedCertify(pt.Config)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: point %d (%s): %w", i, pt.label(), err)
+			}
+			if len(rep.Expanded) > 0 {
+				gen, cert = exGen, exCert
+			}
+		}
 		c := cert
 		solverInfo[i].Certificate = &c
 		if !cert.Certified() {
