@@ -40,7 +40,7 @@ vet:
 # benchmark fails the target instead of being masked by the pipe's exit
 # status.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkFigure4Sweep|BenchmarkPetascalePoint|BenchmarkSolverVsSimulation' -benchmem -benchtime $(BENCHTIME) . > BENCH_sweep.txt || { cat BENCH_sweep.txt; exit 1; }
+	$(GO) test -run '^$$' -bench 'BenchmarkFigure4Sweep|BenchmarkPetascalePoint|BenchmarkSolverVsSimulation|BenchmarkFitSolverVsSimulation' -benchmem -benchtime $(BENCHTIME) . > BENCH_sweep.txt || { cat BENCH_sweep.txt; exit 1; }
 	cat BENCH_sweep.txt
 	$(GO) run ./cmd/benchjson -in BENCH_sweep.txt -out BENCH_sweep.json
 

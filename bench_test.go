@@ -257,6 +257,47 @@ func BenchmarkSolverVsSimulation(b *testing.B) {
 	}
 }
 
+// BenchmarkFitSolverVsSimulation is the approximate-tier counterpart of
+// BenchmarkSolverVsSimulation: the Weibull-disk mini configuration has no
+// exact phase-type form, so "uniformization-approx" runs certification,
+// the certified phase-type fit (tolerance experiments.Figure4FitTolerance),
+// and the exact transient solve of the surrogate end to end through
+// sweep.Run, while "simulation" forces the original Weibull model through
+// a full 60-replication study. The accuracy comparison carries one extra
+// term: the analytic answer is exact for the surrogate and within the
+// certified Kolmogorov bound of the original, while the simulation's
+// half-width (cfs_hw) shrinks only as 1/sqrt(replications).
+func BenchmarkFitSolverVsSimulation(b *testing.B) {
+	opts := san.Options{Mission: 8760, Replications: 60, Confidence: 0.95, Seed: 1,
+		PHFitTolerance: experiments.Figure4FitTolerance}
+	pair := experiments.Figure4WeibullCrossCheckPoints(opts.Seed)
+	for _, tc := range []struct {
+		name   string
+		point  sweep.Point
+		method string
+	}{
+		{"uniformization-approx", pair[0], sweep.MethodUniformizationApprox},
+		{"simulation", pair[1], sweep.MethodSimulation},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var hw float64
+			for i := 0; i < b.N; i++ {
+				res, err := sweep.Run([]sweep.Point{tc.point}, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := res.Points[0].Solver.Method; got != tc.method {
+					b.Fatalf("solved by %q, want %q (reasons %v)", got, tc.method, res.Points[0].Solver.Reasons)
+				}
+				hw = res.Points[0].Measures.Intervals[abe.RewardCFSAvailability].HalfWidth
+			}
+			b.ReportMetric(hw, "cfs_hw")
+		})
+	}
+}
+
 // BenchmarkAblationSpareOSS isolates the standby-spare OSS design choice at
 // petascale (Figure 4's fourth series) without the rest of the sweep.
 func BenchmarkAblationSpareOSS(b *testing.B) {

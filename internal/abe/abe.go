@@ -294,6 +294,24 @@ func MiniErlang() Config {
 	return cfg
 }
 
+// MiniWeibull is MiniExponential with the disk lifetimes drawn from the
+// wear-out Weibull (shape 1.5) of the same MTBF instead of an exponential —
+// a delay with no exact finite phase-type form. The certificate tier refuses
+// this configuration as built (`non-memoryless`) and exact expansion cannot
+// fix it (`non-expandable`); only the certified approximate fitting tier
+// (san.FitPhases, opted into via san.Options.PHFitTolerance) answers it
+// analytically, on a moment-matched phase-type surrogate with a
+// machine-checked CDF distance bound per disk. It is the cross-check point
+// where the approximate analytic answer is validated against
+// forced-simulation confidence intervals widened by the certified bound.
+// Note the Weibull disks defeat lumping, so the point evaluates flat.
+func MiniWeibull() Config {
+	cfg := MiniExponential()
+	cfg.Name = "ABE mini (Weibull disks)"
+	cfg.Storage.Disk.ShapeBeta = 1.5
+	return cfg
+}
+
 // ScaledBy returns a copy of the configuration with the I/O subsystem scaled
 // by the given factor: the number of scratch OSS pairs and DDN units grows
 // proportionally, compute nodes grow proportionally, and the transient-error

@@ -45,6 +45,9 @@ func (e Exponential) Rate() float64 { return 1 / e.mean }
 // Variance returns mean^2.
 func (e Exponential) Variance() float64 { return e.mean * e.mean }
 
+// ThirdMoment returns E[X^3] = 6*mean^3.
+func (e Exponential) ThirdMoment() float64 { return 6 * e.mean * e.mean * e.mean }
+
 // CDF returns 1 - exp(-x/mean) for x >= 0.
 func (e Exponential) CDF(x float64) float64 {
 	if x <= 0 {
@@ -110,6 +113,13 @@ func (u Uniform) Variance() float64 {
 	return w * w / 12
 }
 
+// ThirdMoment returns E[X^3] = (hi^4 - lo^4) / (4*(hi-lo)), written in the
+// factored form (lo^3 + lo^2*hi + lo*hi^2 + hi^3)/4 to avoid cancellation.
+func (u Uniform) ThirdMoment() float64 {
+	lo, hi := u.lo, u.hi
+	return (lo*lo*lo + lo*lo*hi + lo*hi*hi + hi*hi*hi) / 4
+}
+
 // CDF returns the fraction of mass at or below x.
 func (u Uniform) CDF(x float64) float64 {
 	switch {
@@ -166,6 +176,9 @@ func (d Deterministic) Mean() float64 { return d.value }
 
 // Variance returns 0.
 func (Deterministic) Variance() float64 { return 0 }
+
+// ThirdMoment returns E[X^3] = value^3.
+func (d Deterministic) ThirdMoment() float64 { return d.value * d.value * d.value }
 
 // CDF is the unit step at the fixed value.
 func (d Deterministic) CDF(x float64) float64 {

@@ -84,6 +84,34 @@ type Quantiler interface {
 	Quantile(p float64) float64
 }
 
+// Variancer is implemented by distributions that can report their variance
+// in closed form.
+type Variancer interface {
+	// Variance returns E[(X-mean)^2].
+	Variance() float64
+}
+
+// ThirdMomenter is implemented by distributions that can report their third
+// raw moment in closed form. Together with Mean and Variance this gives the
+// first three raw moments, which is what phase-type moment matching needs.
+type ThirdMomenter interface {
+	// ThirdMoment returns E[X^3].
+	ThirdMoment() float64
+}
+
+// RawMoments extracts the first three raw moments (E[X], E[X^2], E[X^3]) of
+// d. ok reports whether d exposes both a closed-form variance and a
+// closed-form third moment; when false the moment values are zero.
+func RawMoments(d Distribution) (m1, m2, m3 float64, ok bool) {
+	v, okV := d.(Variancer)
+	t, okT := d.(ThirdMomenter)
+	if !okV || !okT {
+		return 0, 0, 0, false
+	}
+	m1 = d.Mean()
+	return m1, v.Variance() + m1*m1, t.ThirdMoment(), true
+}
+
 // AFRToMTBFHours converts an annualized failure rate (failures per
 // disk-year, e.g. 0.0088 for a 1e6-hour-MTBF disk) to a mean time between
 // failures in hours. It is the inverse of MTBF -> AFR = HoursPerYear/MTBF

@@ -62,6 +62,41 @@ func (e Empirical) Sample(s *rng.Stream) float64 {
 // Mean returns the mean of the interpolated distribution.
 func (e Empirical) Mean() float64 { return e.mean }
 
+// Variance returns the variance of the piecewise-linear interpolant: an
+// equal-weight mixture of uniform segments over consecutive order
+// statistics, so E[X^2] is the average of the segment second moments
+// (a^2+ab+b^2)/3 (which degenerates correctly for tied observations).
+func (e Empirical) Variance() float64 {
+	n := len(e.sorted)
+	if n == 1 {
+		return 0
+	}
+	var m2 float64
+	for i := 0; i < n-1; i++ {
+		a, b := e.sorted[i], e.sorted[i+1]
+		m2 += (a*a + a*b + b*b) / 3
+	}
+	m2 /= float64(n - 1)
+	return m2 - e.mean*e.mean
+}
+
+// ThirdMoment returns E[X^3] of the piecewise-linear interpolant: the
+// average of the segment third moments (a^3+a^2b+ab^2+b^3)/4, the
+// cancellation-free form of (b^4-a^4)/(4(b-a)).
+func (e Empirical) ThirdMoment() float64 {
+	n := len(e.sorted)
+	if n == 1 {
+		v := e.sorted[0]
+		return v * v * v
+	}
+	var m3 float64
+	for i := 0; i < n-1; i++ {
+		a, b := e.sorted[i], e.sorted[i+1]
+		m3 += (a*a*a + a*a*b + a*b*b + b*b*b) / 4
+	}
+	return m3 / float64(n-1)
+}
+
 // Quantile linearly interpolates the order statistics at rank (n-1)*p.
 func (e Empirical) Quantile(p float64) float64 {
 	if math.IsNaN(p) || p < 0 || p > 1 {

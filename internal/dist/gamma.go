@@ -76,6 +76,11 @@ func (g Gamma) Mean() float64 { return g.shape * g.scale }
 // Variance returns shape*scale^2.
 func (g Gamma) Variance() float64 { return g.shape * g.scale * g.scale }
 
+// ThirdMoment returns E[X^3] = scale^3 * shape*(shape+1)*(shape+2).
+func (g Gamma) ThirdMoment() float64 {
+	return g.scale * g.scale * g.scale * g.shape * (g.shape + 1) * (g.shape + 2)
+}
+
 // CDF returns the regularized lower incomplete gamma P(shape, x/scale).
 func (g Gamma) CDF(x float64) float64 {
 	if x <= 0 {

@@ -64,6 +64,11 @@ func (l Lognormal) Variance() float64 {
 	return math.Expm1(s2) * math.Exp(2*l.mu+s2)
 }
 
+// ThirdMoment returns E[X^3] = exp(3*mu + 4.5*sigma^2).
+func (l Lognormal) ThirdMoment() float64 {
+	return math.Exp(3*l.mu + 4.5*l.sigma*l.sigma)
+}
+
 // CDF returns Phi((ln x - mu)/sigma) for x > 0.
 func (l Lognormal) CDF(x float64) float64 {
 	if x <= 0 {

@@ -1,0 +1,159 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// numericRawMoment integrates E[X^k] = int_0^inf k*x^(k-1)*(1-F(x)) dx by
+// composite Simpson on [0, upper], where upper caps all but a negligible
+// tail. Every family under test is supported on [0, inf) with a usable CDF.
+func numericRawMoment(t *testing.T, d Distribution, k int) float64 {
+	t.Helper()
+	cdf, ok := d.(CDFer)
+	if !ok {
+		t.Fatalf("%s does not implement CDFer", Describe(d))
+	}
+	q, ok := d.(Quantiler)
+	if !ok {
+		t.Fatalf("%s does not implement Quantiler", Describe(d))
+	}
+	upper := q.Quantile(1 - 1e-12)
+	if math.IsInf(upper, 1) || upper <= 0 {
+		t.Fatalf("%s: unusable integration bound %v", Describe(d), upper)
+	}
+	f := func(x float64) float64 {
+		return float64(k) * math.Pow(x, float64(k-1)) * (1 - cdf.CDF(x))
+	}
+	const n = 200000 // even
+	h := upper / n
+	sum := f(0) + f(upper)
+	for i := 1; i < n; i++ {
+		x := float64(i) * h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// TestThirdMomentsAgainstNumericIntegration pins every closed-form third
+// moment (and Empirical's new variance) to a quadrature of the same
+// distribution's CDF.
+func TestThirdMomentsAgainstNumericIntegration(t *testing.T) {
+	mustDist := func(d Distribution, err error) Distribution {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	cases := []struct {
+		name string
+		d    Distribution
+	}{
+		{"exponential", mustDist(asDist(NewExponentialFromMean(12)))},
+		{"uniform", mustDist(asDist(NewUniform(12, 36)))},
+		{"uniform-from-zero", mustDist(asDist(NewUniform(0, 5)))},
+		{"weibull-wearout", mustDist(asDist(NewWeibull(1.5, 40)))},
+		{"weibull-infant", mustDist(asDist(NewWeibull(0.8, 40)))},
+		{"gamma", mustDist(asDist(NewGamma(2.5, 3)))},
+		{"erlang", mustDist(asDist(NewErlang(4, 0.5)))},
+		{"lognormal", mustDist(asDist(NewLognormal(1.2, 0.5)))},
+		{"empirical", mustDist(asDist(NewEmpirical([]float64{1, 2, 2, 3, 4, 4, 5, 8, 13, 21})))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m1, m2, m3, ok := RawMoments(tc.d)
+			if !ok {
+				t.Fatalf("RawMoments(%s) not available", Describe(tc.d))
+			}
+			for k, analytic := range map[int]float64{1: m1, 2: m2, 3: m3} {
+				numeric := numericRawMoment(t, tc.d, k)
+				if rel := math.Abs(analytic-numeric) / numeric; rel > 1e-4 {
+					t.Errorf("%s: E[X^%d] analytic %v vs numeric %v (rel err %v)",
+						Describe(tc.d), k, analytic, numeric, rel)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterministicThirdMoment checks the point mass directly; its step CDF
+// needs no quadrature.
+func TestDeterministicThirdMoment(t *testing.T) {
+	d, err := NewDeterministic(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2, m3, ok := RawMoments(d)
+	if !ok {
+		t.Fatal("RawMoments(deterministic) not available")
+	}
+	if m1 != 17 || m2 != 17*17 || m3 != 17*17*17 {
+		t.Fatalf("deterministic raw moments = %v, %v, %v", m1, m2, m3)
+	}
+}
+
+// TestEmpiricalVariance pins the interpolant variance against a direct
+// segment-mixture computation and checks the degenerate cases.
+func TestEmpiricalVariance(t *testing.T) {
+	e, err := NewEmpirical([]float64{2, 4, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mixture of U[2,4] and U[4,10], weight 1/2 each:
+	// E[X] = (3 + 7)/2 = 5; E[X^2] = ((4+8+16)/3 + (16+40+100)/3)/2 = 92/3.
+	if got, want := e.Mean(), 5.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	if got, want := e.Variance(), 92.0/3-25.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", got, want)
+	}
+
+	single, err := NewEmpirical([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Variance() != 0 {
+		t.Fatalf("single-point variance = %v, want 0", single.Variance())
+	}
+	if single.ThirdMoment() != 343 {
+		t.Fatalf("single-point third moment = %v, want 343", single.ThirdMoment())
+	}
+
+	tied, err := NewEmpirical([]float64{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tied.Variance() != 0 {
+		t.Fatalf("tied-sample variance = %v, want 0", tied.Variance())
+	}
+}
+
+// TestRawMomentsUnavailable confirms the helper reports ok=false for
+// families without closed-form higher moments instead of guessing.
+func TestRawMomentsUnavailable(t *testing.T) {
+	parts := []Component{
+		{Weight: 0.5, Dist: mustExponential(t, 1)},
+		{Weight: 0.5, Dist: mustExponential(t, 10)},
+	}
+	mix, err := NewMixture(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok := RawMoments(mix); ok {
+		t.Fatal("RawMoments(mixture) = ok, want unavailable")
+	}
+}
+
+func mustExponential(t *testing.T, mean float64) Distribution {
+	t.Helper()
+	d, err := NewExponentialFromMean(mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

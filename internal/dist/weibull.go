@@ -67,6 +67,11 @@ func (w Weibull) Variance() float64 {
 	return w.scale * w.scale * (g2 - g1*g1)
 }
 
+// ThirdMoment returns E[X^3] = scale^3 * Gamma(1 + 3/shape).
+func (w Weibull) ThirdMoment() float64 {
+	return w.scale * w.scale * w.scale * math.Gamma(1+3/w.shape)
+}
+
 // CDF returns 1 - exp(-(x/scale)^shape) for x >= 0.
 func (w Weibull) CDF(x float64) float64 {
 	if x <= 0 {

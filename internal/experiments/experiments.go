@@ -502,17 +502,57 @@ func Figure4ErlangCrossCheckPoints(seed uint64) []sweep.Point {
 	}
 }
 
+// Figure4FitTolerance is the certified CDF-distance tolerance the Weibull
+// cross-check pair opts into: the shape-1.5 disk surrogate certifies a
+// Kolmogorov bound well under it (~0.05), so the approximate analytic answer
+// must agree with its simulated twin within the simulation interval widened
+// by the per-activity bounds.
+const Figure4FitTolerance = 0.1
+
+// Figure4WeibullCrossCheckPoints is the approximate-fitting counterpart of
+// Figure4ErlangCrossCheckPoints: the Weibull-disk mini configuration — which
+// both the plain certificate tier and exact expansion refuse — once answered
+// analytically on a certified phase-type surrogate (the sweep must opt in
+// via san.Options.PHFitTolerance) and once forced through simulation with
+// the same seed. The pair audits the fit's certified accuracy end to end:
+// the approximate analytic answer must land inside the simulation's 95%
+// confidence interval widened by the certificate's stated bound.
+func Figure4WeibullCrossCheckPoints(seed uint64) []sweep.Point {
+	cfg := abe.MiniWeibull()
+	return []sweep.Point{
+		{Label: cfg.Name + " [solver cross-check]", Config: cfg, Seed: seed},
+		{Label: cfg.Name + " [simulated twin]", Config: cfg, Seed: seed, ForceSimulation: true},
+	}
+}
+
 // Figure4Sweep runs the Figure 4 scaling study as one sharded sweep: base and
 // spare-OSS variants of every scale factor are evaluated over a single shared
 // worker pool, so the slow petascale points overlap with the fast ABE-scale
 // ones instead of each draining its own pool. The solver cross-check pairs
 // (Figure4CrossCheckPoints and the phase-type expansion twin of
-// Figure4ErlangCrossCheckPoints) ride along after the figure's own points.
+// Figure4ErlangCrossCheckPoints) ride along after the figure's own points,
+// and the Weibull pair (Figure4WeibullCrossCheckPoints) runs as a second
+// small sweep with the approximate tier opted in — keeping PHFitTolerance
+// off the figure's own points, whose Weibull-disk models must keep refusing
+// straight to simulation without paying a fitted exploration each — and is
+// merged after them.
 func Figure4Sweep(opts Options) (*sweep.Result, error) {
 	opts = opts.withDefaults()
 	points := append(Figure4Points(opts.Seed, Figure4ScaleFactors(opts.Quick)), Figure4CrossCheckPoints(opts.Seed)...)
 	points = append(points, Figure4ErlangCrossCheckPoints(opts.Seed)...)
-	return sweep.Run(points, opts.sanOptions())
+	res, err := sweep.Run(points, opts.sanOptions())
+	if err != nil {
+		return nil, err
+	}
+	fitOpts := opts.sanOptions()
+	fitOpts.PHFitTolerance = Figure4FitTolerance
+	fitRes, err := sweep.Run(Figure4WeibullCrossCheckPoints(opts.Seed), fitOpts)
+	if err != nil {
+		return nil, err
+	}
+	res.Points = append(res.Points, fitRes.Points...)
+	res.TotalEvents += fitRes.TotalEvents
+	return res, nil
 }
 
 // figure4FromSweep projects the (base, spare) point pairs of the Figure 4

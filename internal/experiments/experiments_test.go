@@ -285,6 +285,69 @@ func TestFigure4ErlangCrossCheckAgreement(t *testing.T) {
 	}
 }
 
+// TestFigure4WeibullCrossCheckAgreement is the approximate-fitting twin of
+// the cross-checks above: the Weibull-disk mini configuration is refused by
+// both the plain certificate tier and exact expansion, becomes certified on
+// a phase-type surrogate under san.FitPhases (opted in via PHFitTolerance),
+// and the approximate analytic answer must agree with a 60-replication
+// simulation of the ORIGINAL (Weibull) model within the simulation's own
+// 95% CI widened by the certificate's stated per-activity bound.
+func TestFigure4WeibullCrossCheckAgreement(t *testing.T) {
+	points := Figure4WeibullCrossCheckPoints(7)
+	res, err := sweep.Run(points, san.Options{
+		Mission: 8760, Replications: 60, Confidence: 0.95, Seed: 7,
+		PHFitTolerance: Figure4FitTolerance,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	analytic, twin := res.Points[0], res.Points[1]
+	if analytic.Solver.Method != sweep.MethodUniformizationApprox {
+		t.Fatalf("Weibull point solved by %q (reasons %v), want uniformization-approx after fitting",
+			analytic.Solver.Method, analytic.Solver.Reasons)
+	}
+	cert := analytic.Solver.Certificate
+	if cert == nil || !cert.Certified() {
+		t.Fatalf("Weibull point must carry a certified certificate: %+v", cert)
+	}
+	if len(cert.Approximations) == 0 {
+		t.Fatalf("certificate must record the fit evidence: %+v", cert)
+	}
+	bound := 0.0
+	for _, ev := range cert.Approximations {
+		if !(ev.Bound > 0 && ev.Bound <= Figure4FitTolerance) {
+			t.Fatalf("fit %q bound %v outside (0, %v]", ev.Activity, ev.Bound, Figure4FitTolerance)
+		}
+		if ev.Bound > bound {
+			bound = ev.Bound
+		}
+	}
+	if !strings.Contains(cert.Summary(), "approximate") {
+		t.Fatalf("certificate summary must surface the approximation: %q", cert.Summary())
+	}
+	if twin.Solver.Method != sweep.MethodSimulation || len(twin.Solver.Reasons) == 0 {
+		t.Fatalf("forced twin must simulate with a recorded reason: %+v", twin.Solver)
+	}
+	for _, name := range []string{abe.RewardStorageAvailability, abe.RewardCFSAvailability} {
+		a := analytic.Measures.Intervals[name]
+		ci := twin.Measures.Intervals[name]
+		if a.HalfWidth != 0 {
+			t.Errorf("%s: approximate analytic interval must be exact for the surrogate (zero half-width), got %v",
+				name, a.HalfWidth)
+		}
+		if ci.N != 60 || ci.HalfWidth <= 0 {
+			t.Fatalf("%s: twin interval not a 60-replication estimate: %+v", name, ci)
+		}
+		if diff := math.Abs(a.Mean - ci.Mean); diff > ci.HalfWidth+bound {
+			t.Errorf("%s: approximate analytic %v vs simulated %v ± %v — outside the CI widened by the certified bound %v",
+				name, a.Mean, ci.Mean, ci.HalfWidth, bound)
+		}
+	}
+}
+
 // TestMiniErlangRefusedWithoutExpansion pins the before side of the story:
 // the Erlang-repair mini configuration is refused by the plain certificate
 // tier with a non-memoryless reason that names the expansion remedy.

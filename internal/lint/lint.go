@@ -81,6 +81,7 @@ func DefaultConfig(root string) Config {
 			"repro/internal/rareevent",
 			"repro/internal/calibrate",
 			"repro/internal/dist",
+			"repro/internal/phfit",
 			"repro/internal/stats",
 			"repro/internal/report",
 		},

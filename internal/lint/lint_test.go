@@ -23,7 +23,7 @@ func fixtureConfig(t *testing.T) Config {
 	return Config{
 		Root:              root,
 		ModulePath:        "fixture",
-		DeterministicPkgs: []string{"fixture/san", "fixture/det"},
+		DeterministicPkgs: []string{"fixture/san", "fixture/det", "fixture/phfit"},
 		SANPath:           "fixture/san",
 		DistPath:          "fixture/dist",
 	}

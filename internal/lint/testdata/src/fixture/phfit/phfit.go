@@ -1,0 +1,47 @@
+// Package phfit mirrors the repository's phase-type fitting package in the
+// fixture module: it is listed in the fixture's deterministic package set,
+// so a certified fit bound computed with wall-clock reads, global math/rand,
+// or unordered map iteration is a violation here.
+package phfit
+
+import (
+	"math/rand" // want nodeterminism
+	"sort"
+	"time"
+)
+
+// SeededBound draws grid jitter from the global generator — a fit bound
+// would differ across runs.
+func SeededBound(points []float64) float64 {
+	i := rand.Intn(len(points))
+	return points[i]
+}
+
+// StampedEvidence embeds the wall clock in fit evidence.
+func StampedEvidence() string {
+	return "fitted at " + time.Now().String() // want nodeterminism
+}
+
+// WorstBound folds per-activity bounds in map order; the maximum is
+// order-insensitive, but the rule demands the annotation burden stays on
+// provably safe code, so the unannotated range is flagged.
+func WorstBound(bounds map[string]float64) float64 {
+	worst := 0.0
+	for _, b := range bounds { // want nodeterminism
+		if b > worst {
+			worst = b
+		}
+	}
+	return worst
+}
+
+// SortedActivities is the canonical fix: collect, sort, then fold in sorted
+// order, which the rule recognizes without an annotation.
+func SortedActivities(bounds map[string]float64) []string {
+	names := make([]string, 0, len(bounds))
+	for name := range bounds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

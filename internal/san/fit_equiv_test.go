@@ -1,0 +1,191 @@
+// Equivalence tests for the certified approximate fitting tier, pinned
+// against closed forms: the probability that a single fitted transition has
+// fired by time T is exactly the surrogate's CDF at T, so the certified
+// solver on the fitted model must reproduce phfit's closed-form surrogate
+// CDF to solver tolerance — and sit within the certified bound of the
+// original delay's CDF. An external test package because the solver lives
+// downstream of san.
+package san_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/phfit"
+	"repro/internal/san"
+	"repro/internal/statespace"
+)
+
+// fittedAbsorbedProbability builds pending -> activity(delay) -> done, runs
+// the certified fitting tier, requires certification with exactly one
+// adopted surrogate, and returns P[done at T] for each T plus the evidence.
+func fittedAbsorbedProbability(t *testing.T, delay dist.Distribution, tol float64, times []float64) ([]float64, san.FitEvidence) {
+	t.Helper()
+	m := san.NewModel("fit-equiv")
+	pending := m.AddPlace("pending", 1)
+	done := m.AddPlace("done", 0)
+	m.AddTimedActivity("transfer", delay).
+		AddInputArc(pending, 1).
+		AddOutputArc(done, 1)
+	rewards := []san.RewardVariable{{
+		Name: "absorbed",
+		Mode: san.InstantAtEnd,
+		Rate: func(mr san.MarkingReader) float64 { return float64(mr.Tokens(done)) },
+	}}
+	gen, cert, rep, err := statespace.CertifyFitted(m, rewards, tol, statespace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Certified() {
+		t.Fatalf("fitted model must certify, refusals: %v", cert.Refusals)
+	}
+	if len(rep.Fits) != 1 || len(cert.Approximations) != 1 {
+		t.Fatalf("expected exactly one fit, got %v / %v", rep.Fits, cert.Approximations)
+	}
+	out := make([]float64, len(times))
+	for i, T := range times {
+		res, err := gen.SolveTransient(T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = res["absorbed"]
+	}
+	return out, rep.Fits[0]
+}
+
+// TestFittedWeibullMatchesSurrogateCDF pins the chain realization through
+// the solver: the analytic answer equals the surrogate's closed-form CDF to
+// solver tolerance, and differs from the original Weibull CDF by no more
+// than the certified bound.
+func TestFittedWeibullMatchesSurrogateCDF(t *testing.T) {
+	w, err := dist.NewWeibull(1.5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := phfit.Fit(w, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := []float64{100, 300, 700, 1200, 2500}
+	got, ev := fittedAbsorbedProbability(t, w, 0.2, times)
+	if ev.Bound != res.Bound {
+		t.Fatalf("evidence bound %v differs from fitter bound %v", ev.Bound, res.Bound)
+	}
+	for i, T := range times {
+		if diff := math.Abs(got[i] - res.Surrogate.CDF(T)); diff > 1e-8 {
+			t.Errorf("T=%v: solver %v vs surrogate CDF %v (diff %v)", T, got[i], res.Surrogate.CDF(T), diff)
+		}
+		if diff := math.Abs(got[i] - w.CDF(T)); diff > ev.Bound {
+			t.Errorf("T=%v: solver %v differs from Weibull CDF %v by %v, over the certified bound %v",
+				T, got[i], w.CDF(T), diff, ev.Bound)
+		}
+	}
+}
+
+// TestFittedLognormalMixtureMatchesSurrogateCDF pins the branch-selector
+// realization through the explorer and solver: vanishing selector states are
+// eliminated exactly, so the analytic answer equals the hyperexponential
+// closed form, within the certified bound of the lognormal CDF.
+func TestFittedLognormalMixtureMatchesSurrogateCDF(t *testing.T) {
+	ln, err := dist.NewLognormal(1.2, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := phfit.Fit(ln, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Surrogate.Mixture() {
+		t.Fatalf("lognormal(1.2, 1.0) must fit a mixture, got %s", res.Surrogate.Describe())
+	}
+	times := []float64{1, 3, 6, 12, 30}
+	got, ev := fittedAbsorbedProbability(t, ln, 0.25, times)
+	for i, T := range times {
+		if diff := math.Abs(got[i] - res.Surrogate.CDF(T)); diff > 1e-8 {
+			t.Errorf("T=%v: solver %v vs surrogate CDF %v (diff %v)", T, got[i], res.Surrogate.CDF(T), diff)
+		}
+		if diff := math.Abs(got[i] - ln.CDF(T)); diff > ev.Bound {
+			t.Errorf("T=%v: solver %v differs from lognormal CDF %v by %v, over the certified bound %v",
+				T, got[i], ln.CDF(T), diff, ev.Bound)
+		}
+	}
+}
+
+// TestCertifyFittedCarriesEvidence pins the statespace entry point on a
+// mixed model: the exact expansion still owns the Erlang delay, the fit owns
+// the Weibull delay, and the certificate records both kinds of evidence with
+// an approximate-labeled summary.
+func TestCertifyFittedCarriesEvidence(t *testing.T) {
+	m := san.NewModel("certify-fitted")
+	p1 := m.AddPlace("p1", 1)
+	p2 := m.AddPlace("p2", 1)
+	done := m.AddPlace("done", 0)
+	erl, err := dist.NewErlang(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := dist.NewWeibull(1.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AddTimedActivity("exact", erl).AddInputArc(p1, 1).AddOutputArc(done, 1)
+	m.AddTimedActivity("approx", w).AddInputArc(p2, 1).AddOutputArc(done, 1)
+	rewards := []san.RewardVariable{{
+		Name: "absorbed",
+		Mode: san.InstantAtEnd,
+		Rate: func(mr san.MarkingReader) float64 { return float64(mr.Tokens(done)) },
+	}}
+	_, cert, rep, err := statespace.CertifyFitted(m, rewards, 0.2, statespace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Certified() {
+		t.Fatalf("mixed model must certify, refusals: %v", cert.Refusals)
+	}
+	if len(cert.Expansions) != 1 {
+		t.Fatalf("the Erlang delay must expand exactly, got %v", cert.Expansions)
+	}
+	if len(cert.Approximations) != 1 || cert.Approximations[0].Activity != "approx" {
+		t.Fatalf("the Weibull delay must carry fit evidence, got %v", cert.Approximations)
+	}
+	if len(rep.Fits) != 1 {
+		t.Fatalf("report must match the certificate, got %v", rep.Fits)
+	}
+	sum := cert.Summary()
+	if !strings.Contains(sum, "approximate: 1 fitted surrogates with certified bounds") {
+		t.Fatalf("summary must surface the approximation: %q", sum)
+	}
+
+	// A delay neither pass can handle refuses with both classified reasons.
+	m2 := san.NewModel("certify-fitted-refused")
+	p := m2.AddPlace("p", 1)
+	q := m2.AddPlace("q", 0)
+	narrow, err := dist.NewUniform(99, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.AddTimedActivity("a", narrow).AddInputArc(p, 1).AddOutputArc(q, 1)
+	rewards2 := []san.RewardVariable{{
+		Name: "absorbed",
+		Mode: san.InstantAtEnd,
+		Rate: func(mr san.MarkingReader) float64 { return float64(mr.Tokens(q)) },
+	}}
+	_, cert2, _, err := statespace.CertifyFitted(m2, rewards2, 0.2, statespace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert2.Certified() {
+		t.Fatal("non-fittable delay must refuse certification")
+	}
+	joined := strings.Join(cert2.Refusals, "; ")
+	for _, want := range []string{san.RefusalNonMemoryless, san.RefusalNonExpandable, san.RefusalNonFittable} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("refusals must carry %q: %v", want, cert2.Refusals)
+		}
+	}
+	if len(cert2.Approximations) != 0 {
+		t.Errorf("refused certificate must carry no fit evidence, got %v", cert2.Approximations)
+	}
+}

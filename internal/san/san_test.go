@@ -525,7 +525,7 @@ func TestOptionsValidate(t *testing.T) {
 	if err := (Options{}).Validate(); err != nil {
 		t.Errorf("zero options (all defaults) rejected: %v", err)
 	}
-	valid := Options{Mission: 100, Replications: 4, Confidence: 0.9, Seed: 7, Parallelism: 2}
+	valid := Options{Mission: 100, Replications: 4, Confidence: 0.9, Seed: 7, Parallelism: 2, PHFitTolerance: 0.1}
 	if err := valid.Validate(); err != nil {
 		t.Errorf("valid options rejected: %v", err)
 	}
@@ -540,6 +540,10 @@ func TestOptionsValidate(t *testing.T) {
 		"NaN confidence":       {Confidence: math.NaN()},
 		"negative confidence":  {Confidence: -0.5},
 		"negative parallelism": {Parallelism: -1},
+		"negative fit tol":     {PHFitTolerance: -0.1},
+		"fit tol of 1":         {PHFitTolerance: 1},
+		"fit tol above 1":      {PHFitTolerance: 1.5},
+		"NaN fit tol":          {PHFitTolerance: math.NaN()},
 	}
 	m, _ := buildFailRepair(t, 100, 10)
 	for name, opts := range invalid {

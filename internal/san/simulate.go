@@ -536,6 +536,15 @@ type Options struct {
 	// Parallelism is the number of worker goroutines. Zero means the default
 	// of GOMAXPROCS.
 	Parallelism int
+	// PHFitTolerance, when positive, opts a study into the approximate
+	// phase-type fitting solver tier: after exact expansion fails, the sweep
+	// engine may adopt fitted surrogates (FitPhases) whose certified CDF
+	// distance bounds stay within this tolerance, labeling every such answer
+	// as approximate with the per-activity bounds. Zero (the default) keeps
+	// the tier off: refused points fall back to simulation. Must be in
+	// [0, 1); there is no non-zero default because adopting an approximation
+	// is the caller's explicit decision.
+	PHFitTolerance float64
 }
 
 // Validate rejects option values that are neither a zero "use the default"
@@ -555,6 +564,9 @@ func (o Options) Validate() error {
 	}
 	if o.Parallelism < 0 {
 		return fmt.Errorf("san: negative parallelism %d (zero means GOMAXPROCS)", o.Parallelism)
+	}
+	if o.PHFitTolerance < 0 || o.PHFitTolerance >= 1 || math.IsNaN(o.PHFitTolerance) {
+		return fmt.Errorf("san: phase-fit tolerance %v outside [0,1) (zero keeps the approximate tier off)", o.PHFitTolerance)
 	}
 	return nil
 }

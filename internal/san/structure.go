@@ -137,6 +137,13 @@ const (
 	// expansion's exactness argument (reactivation, input gates, an input
 	// place other activities consume or gates write).
 	RefusalNonExpandable = "non-expandable"
+	// RefusalNonFittable: the approximate phase-type fitting pass
+	// (FitPhases) could not adopt a surrogate for a non-memoryless delay —
+	// no supported surrogate meets the caller's tolerance, the distribution
+	// exposes no closed-form moments or CDF to certify against, or the
+	// activity's structure defeats the surrogate realization (a chain needs
+	// the same stable-enabling argument as exact expansion).
+	RefusalNonFittable = "non-fittable"
 )
 
 // Proof kinds of a PlaceBound.
@@ -200,6 +207,12 @@ type Certificate struct {
 	// recording the original distribution, the phase count, and the stage
 	// rates. Empty when the model certified as built.
 	Expansions []string `json:"expansions,omitempty"`
+	// Approximations holds the certified fit evidence when the model is the
+	// image of FitPhases: one entry per fitted activity, recording the
+	// original distribution, the adopted surrogate, and the proven distance
+	// bound with its metric. Non-empty means the analytic answer is
+	// approximate — reports must label it so, never as exact.
+	Approximations []FitEvidence `json:"approximations,omitempty"`
 }
 
 // Certified reports whether every solver precondition holds.
@@ -211,6 +224,9 @@ func (c Certificate) Summary() string {
 		expanded := ""
 		if n := len(c.Expansions); n > 0 {
 			expanded = fmt.Sprintf(" (after phase expansion of %d activities)", n)
+		}
+		if n := len(c.Approximations); n > 0 {
+			expanded += fmt.Sprintf(" (approximate: %d fitted surrogates with certified bounds)", n)
 		}
 		return fmt.Sprintf("certified%s: %d states, %d transitions, %d P-invariants, %d T-invariants",
 			expanded, c.States, c.Transitions, c.PInvariants, c.TInvariants)

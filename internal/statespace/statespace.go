@@ -324,3 +324,43 @@ func CertifyExpanded(m *san.Model, rewards []san.RewardVariable, opts Options) (
 	}
 	return gen, cert, rep, nil
 }
+
+// CertifyFitted is the certificate tier's entry point for the approximate
+// phase-type fitting pass, one tier below CertifyExpanded: it first runs the
+// exact expansion (delays with an exact finite phase form always take it),
+// then san.FitPhases with the given tolerance on the non-expandable
+// remainder, compiles the image, and certifies it. Expansion evidence lands
+// in Certificate.Expansions and the certified fit evidence — original
+// distribution, adopted surrogate, proven distance bound and metric — in
+// Certificate.Approximations, so a certificate with non-empty Approximations
+// can never be mistaken for an exact one. When the fitted model is still
+// refused, both passes' classified reasons are appended after the
+// certificate's own refusals.
+//
+// The model is mutated in place; callers that also need the original model
+// (e.g. for a simulation fallback) must build a fresh one for this call. The
+// error return covers structural failures only (invalid model or tolerance,
+// unsound pass, compile failure) — a refused certificate is a result, not an
+// error.
+func CertifyFitted(m *san.Model, rewards []san.RewardVariable, tol float64, opts Options) (*Generator, san.Certificate, *san.FitReport, error) {
+	exp, err := san.ExpandPhases(m)
+	if err != nil {
+		return nil, san.Certificate{}, nil, err
+	}
+	rep, err := san.FitPhases(m, tol)
+	if err != nil {
+		return nil, san.Certificate{}, nil, err
+	}
+	cm, err := san.Compile(m, rewards)
+	if err != nil {
+		return nil, san.Certificate{}, nil, fmt.Errorf("statespace: compile fitted model: %w", err)
+	}
+	gen, cert := Certify(cm, opts)
+	cert.Expansions = append([]string(nil), exp.Expanded...)
+	cert.Approximations = append([]san.FitEvidence(nil), rep.Fits...)
+	if !cert.Certified() {
+		cert.Refusals = append(cert.Refusals, exp.Refusals...)
+		cert.Refusals = append(cert.Refusals, rep.Refusals...)
+	}
+	return gen, cert, rep, nil
+}

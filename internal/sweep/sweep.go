@@ -67,10 +67,14 @@ func (p Point) label() string {
 }
 
 // Solver records how a sweep point was answered: by the certified
-// uniformization solver (exact, zero variance) or by simulation, with the
-// structural certificate or the structured refusal reasons as evidence.
+// uniformization solver (exact, zero variance), by the same solver on a
+// certified approximate phase-type surrogate (MethodUniformizationApprox,
+// with the per-activity fit bounds in the certificate's Approximations), or
+// by simulation — with the structural certificate or the structured refusal
+// reasons as evidence.
 type Solver struct {
-	// Method is MethodUniformization or MethodSimulation.
+	// Method is MethodUniformization, MethodUniformizationApprox, or
+	// MethodSimulation.
 	Method string
 	// Reasons explains a simulation choice: the certificate's structured
 	// refusals, a solver error, or the point's ForceSimulation override.
@@ -84,7 +88,13 @@ type Solver struct {
 // Solver methods.
 const (
 	MethodUniformization = "uniformization"
-	MethodSimulation     = "simulation"
+	// MethodUniformizationApprox marks an analytic answer computed on a
+	// certified approximate phase-type surrogate of the model: exact for the
+	// surrogate (zero-width intervals), within the per-activity CDF bounds
+	// recorded in Certificate.Approximations of the true model. Never
+	// reported as plain uniformization.
+	MethodUniformizationApprox = "uniformization-approx"
+	MethodSimulation           = "simulation"
 )
 
 // PointResult is the outcome of one sweep point.
@@ -188,6 +198,20 @@ func expandedCertify(cfg abe.Config) (*statespace.Generator, san.Certificate, *s
 	return statespace.CertifyExpanded(model, mp.Rewards(), statespace.Options{})
 }
 
+// fittedCertify builds a fresh model for cfg and runs the certified
+// approximate tier (statespace.CertifyFitted): exact expansion first, then
+// phase-type fitting within tol on the non-expandable remainder. The fresh
+// build keeps the point's original compiled model untouched for the
+// simulation fallback.
+func fittedCertify(cfg abe.Config, tol float64) (*statespace.Generator, san.Certificate, *san.FitReport, error) {
+	model := san.NewModel(cfg.Name)
+	mp, err := abe.Build(model, cfg)
+	if err != nil {
+		return nil, san.Certificate{}, nil, err
+	}
+	return statespace.CertifyFitted(model, mp.Rewards(), tol, statespace.Options{})
+}
+
 // Run evaluates every point of the sweep under the given study options
 // (opts.Seed is the sweep-level master seed; opts.Parallelism sizes the
 // shared worker pool). It returns per-point measures in input order.
@@ -257,6 +281,21 @@ func Run(points []Point, opts san.Options) (*Result, error) {
 				gen, cert = exGen, exCert
 			}
 		}
+		if !cert.Certified() && hasPrefix(cert.Refusals, san.RefusalNonMemoryless) && opts.PHFitTolerance > 0 {
+			// Approximate-fitting retry, opted into via PHFitTolerance: some
+			// delay has no exact phase form, so rebuild once more and run the
+			// certified fitting tier over the non-expandable remainder. Only
+			// an image that actually adopted surrogates replaces the standing
+			// certificate; the answer is then labeled uniformization-approx,
+			// never plain uniformization.
+			fitGen, fitCert, rep, err := fittedCertify(pt.Config, opts.PHFitTolerance)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: point %d (%s): %w", i, pt.label(), err)
+			}
+			if len(rep.Fits) > 0 {
+				gen, cert = fitGen, fitCert
+			}
+		}
 		c := cert
 		solverInfo[i].Certificate = &c
 		if !cert.Certified() {
@@ -270,7 +309,11 @@ func Run(points []Point, opts san.Options) (*Result, error) {
 			solverInfo[i].Reasons = []string{err.Error()}
 			continue
 		}
-		solverInfo[i].Method = MethodUniformization
+		if len(cert.Approximations) > 0 {
+			solverInfo[i].Method = MethodUniformizationApprox
+		} else {
+			solverInfo[i].Method = MethodUniformization
+		}
 		analytic[i] = rewards
 	}
 
@@ -437,9 +480,11 @@ type ReportPoint struct {
 
 // ReportSolver records how the point was answered: "uniformization" when the
 // structural certificate proved the solver preconditions and the point's
-// measures are exact (zero-width intervals), "simulation" otherwise — with
-// the certificate's structured refusals (or the ForceSimulation override, or
-// a numerical solver error) as the reasons.
+// measures are exact (zero-width intervals), "uniformization-approx" when the
+// answer is exact for a certified approximate phase-type surrogate (the
+// per-activity CDF distance bounds are in the certificate's approximations),
+// "simulation" otherwise — with the certificate's structured refusals (or the
+// ForceSimulation override, or a numerical solver error) as the reasons.
 type ReportSolver struct {
 	Method      string           `json:"method"`
 	Reasons     []string         `json:"reasons,omitempty"`

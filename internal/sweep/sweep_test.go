@@ -266,3 +266,95 @@ func TestSweepReportModelStats(t *testing.T) {
 		t.Errorf("model_stats missing from JSON report: %+v", doc.Points)
 	}
 }
+
+// TestSweepFitTierOptIn pins the approximate tier's opt-in contract: the
+// Weibull-disk mini configuration simulates under default options (never
+// silently approximate), and with PHFitTolerance set it is answered by the
+// solver on a certified surrogate, labeled uniformization-approx, with the
+// per-activity bounds in the certificate.
+func TestSweepFitTierOptIn(t *testing.T) {
+	point := []Point{{Config: abe.MiniWeibull()}}
+
+	off := san.Options{Mission: 1000, Replications: 2, Seed: 5}
+	resOff, err := Run(point, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := resOff.Points[0].Solver
+	if solver.Method != MethodSimulation {
+		t.Fatalf("without opt-in the Weibull point must simulate, got %q", solver.Method)
+	}
+	if !hasPrefix(solver.Reasons, san.RefusalNonMemoryless) {
+		t.Fatalf("refusals must stay classified: %v", solver.Reasons)
+	}
+
+	on := off
+	on.PHFitTolerance = 0.1
+	resOn, err := Run(point, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver = resOn.Points[0].Solver
+	if solver.Method != MethodUniformizationApprox {
+		t.Fatalf("with opt-in the Weibull point must answer approximately, got %q (reasons %v)",
+			solver.Method, solver.Reasons)
+	}
+	cert := solver.Certificate
+	if cert == nil || !cert.Certified() || len(cert.Approximations) == 0 {
+		t.Fatalf("approximate answer must carry certified fit evidence: %+v", cert)
+	}
+	for _, ev := range cert.Approximations {
+		if !(ev.Bound > 0 && ev.Bound <= on.PHFitTolerance) {
+			t.Errorf("fit %q bound %v outside (0, %v]", ev.Activity, ev.Bound, on.PHFitTolerance)
+		}
+		if ev.Metric == "" || ev.Surrogate == "" || ev.Phases < 1 {
+			t.Errorf("fit evidence incomplete: %+v", ev)
+		}
+	}
+	// The approximate answer is exact for the surrogate: zero-width intervals.
+	for name, ci := range resOn.Points[0].Measures.Intervals { //lint:sorted
+		if ci.HalfWidth != 0 {
+			t.Errorf("%s: approximate analytic interval must be zero-width, got %v", name, ci.HalfWidth)
+		}
+	}
+	// The JSON report surfaces method and evidence.
+	text, err := resOn.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, `"method": "uniformization-approx"`) ||
+		!strings.Contains(text, `"approximations"`) {
+		t.Errorf("JSON report must label the approximate method and carry the evidence:\n%s", text)
+	}
+}
+
+// TestSweepSolveFailureFallsBackToSimulation pins the solve-time failure
+// path: the model certifies, but the uniformization constant of the huge
+// mission exceeds the solver's budget mid-point, so the point falls back to
+// simulation with the solver error recorded next to the (still certified)
+// certificate.
+func TestSweepSolveFailureFallsBackToSimulation(t *testing.T) {
+	opts := san.Options{Mission: 2e6, Replications: 2, Seed: 5}
+	res, err := Run([]Point{{Config: abe.MiniExponential()}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := res.Points[0].Solver
+	if solver.Certificate == nil || !solver.Certificate.Certified() {
+		t.Fatalf("certification must succeed before the solve fails: %+v", solver.Certificate)
+	}
+	if solver.Method != MethodSimulation {
+		t.Fatalf("failed solve must fall back to simulation, got %q", solver.Method)
+	}
+	if len(solver.Reasons) != 1 || !strings.Contains(solver.Reasons[0], "uniformization constant") {
+		t.Fatalf("solver error must be recorded as the reason: %v", solver.Reasons)
+	}
+	// The fallback actually simulated: nonzero events and a real interval.
+	if res.TotalEvents == 0 {
+		t.Error("simulation fallback produced no events")
+	}
+	ci := res.Points[0].Measures.Intervals[abe.RewardCFSAvailability]
+	if ci.N != 2 {
+		t.Errorf("fallback interval not a 2-replication estimate: %+v", ci)
+	}
+}
