@@ -28,7 +28,7 @@ test:
 # The experiments package exceeds Go's default 10m test-binary deadline
 # under the race detector, so the timeout is set explicitly.
 race:
-	$(GO) test -race -timeout 30m ./internal/san/... ./internal/sweep/... ./internal/rareevent/... ./internal/calibrate/... ./internal/des/... ./internal/checkpoint/... ./internal/experiments/...
+	$(GO) test -race -timeout 30m ./internal/san/... ./internal/statespace/... ./internal/sweep/... ./internal/rareevent/... ./internal/calibrate/... ./internal/des/... ./internal/checkpoint/... ./internal/experiments/...
 
 vet:
 	$(GO) vet ./...
@@ -40,7 +40,7 @@ vet:
 # benchmark fails the target instead of being masked by the pipe's exit
 # status.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkFigure4Sweep|BenchmarkPetascalePoint|BenchmarkSolverVsSimulation|BenchmarkFitSolverVsSimulation' -benchmem -benchtime $(BENCHTIME) . > BENCH_sweep.txt || { cat BENCH_sweep.txt; exit 1; }
+	$(GO) test -run '^$$' -bench 'BenchmarkFigure4Sweep|BenchmarkPetascalePoint|BenchmarkSolverVsSimulation|BenchmarkFitSolverVsSimulation|BenchmarkExploreSolve|BenchmarkSweepSolveCache' -benchmem -benchtime $(BENCHTIME) -timeout 60m . > BENCH_sweep.txt || { cat BENCH_sweep.txt; exit 1; }
 	cat BENCH_sweep.txt
 	$(GO) run ./cmd/benchjson -in BENCH_sweep.txt -out BENCH_sweep.json
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/raid"
 	"repro/internal/san"
+	"repro/internal/statespace"
 	"repro/internal/sweep"
 )
 
@@ -380,6 +381,146 @@ func BenchmarkStorageSimulationPerDisk(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := san.RunReplications(model, rewards, san.Options{Mission: 8760, Replications: 4, Seed: uint64(i + 1)}); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// miniWeibullCertifySolve runs the MiniWeibull certify+solve path once, the
+// way the sweep's solver pre-pass executes it for one point: fresh model
+// build, the certified approximate fitting tier at the figure4 tolerance,
+// and the exact transient solve of the surrogate at the one-year mission.
+func miniWeibullCertifySolve(b *testing.B, opts statespace.Options) {
+	b.Helper()
+	cfg := abe.MiniWeibull()
+	model := san.NewModel(cfg.Name)
+	mp, err := abe.Build(model, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, cert, rep, err := statespace.CertifyFitted(model, mp.Rewards(), experiments.Figure4FitTolerance, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !cert.Certified() || len(rep.Fits) == 0 {
+		b.Fatalf("refused: %s", cert.Summary())
+	}
+	if _, err := gen.SolveTransient(8760); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkExploreSolve measures the MiniWeibull certify+solve path — the
+// sweep's analytic tier on the Weibull-disk cross-check configuration (a
+// 27k-state, 304k-edge CTMC after phase-type fitting) — before and after this
+// optimization round, at two granularities.
+//
+// The sweep-scale pair is the headline: "sweep-prepr" replays the pre-PR
+// solver pre-pass over three fingerprint-identical MiniWeibull points (the
+// cross-check-twin workload: every duplicate paid a full sequential
+// certify+solve on the reference implementations), while "sweep-cached" runs
+// the same three points through sweep.Run — interned parallel exploration,
+// gather solver kernels, and the content-addressed solve cache deduplicating
+// the duplicates to one computation.
+//
+// The point-scale pair isolates the kernels without the cache on a single
+// point: "point-baseline" is the sequential reference path (string-keyed
+// interning, scatter SpMV), "point-optimized" the production path. The two
+// produce the same chain (pinned by the statespace differential tests); the
+// solve is dominated by a power iteration to stationarity whose SpMV runs at
+// the single-thread issue-width floor, so the kernel-only win is smaller
+// than the sweep-scale one.
+func BenchmarkExploreSolve(b *testing.B) {
+	const dupPoints = 3
+	b.Run("sweep-prepr", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for p := 0; p < dupPoints; p++ {
+				miniWeibullCertifySolve(b, statespace.Options{Baseline: true})
+			}
+		}
+	})
+	b.Run("sweep-cached", func(b *testing.B) {
+		opts := san.Options{Mission: 8760, Replications: 8, Seed: 1,
+			PHFitTolerance: experiments.Figure4FitTolerance}
+		points := make([]sweep.Point, dupPoints)
+		for p := range points {
+			points[p] = sweep.Point{Label: benchName("dup", p), Config: abe.MiniWeibull()}
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sweep.Run(points, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, pt := range res.Points {
+				if pt.Solver.Method != sweep.MethodUniformizationApprox {
+					b.Fatalf("point %q solved by %q, want uniformization-approx", pt.Label, pt.Solver.Method)
+				}
+			}
+		}
+	})
+	b.Run("point-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			miniWeibullCertifySolve(b, statespace.Options{Baseline: true})
+		}
+	})
+	b.Run("point-optimized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			miniWeibullCertifySolve(b, statespace.Options{})
+		}
+	})
+}
+
+// BenchmarkSweepSolveCache measures the sweep's content-addressed solve cache
+// on analytic points: "unique" sweeps four fingerprint-distinct mini
+// configurations (every point certifies and solves — all misses), "duplicate"
+// sweeps four copies of the same configuration (one miss, three hits sharing
+// its memoized outcome). Both sweeps produce full reports; the gap is the
+// certify+solve work the cache deduplicates.
+func BenchmarkSweepSolveCache(b *testing.B) {
+	opts := san.Options{Mission: 8760, Replications: 8, Seed: 1}
+	uniquePoints := func() []sweep.Point {
+		points := make([]sweep.Point, 4)
+		for i := range points {
+			cfg := abe.MiniExponential()
+			// Distinct disk MTBFs give every point its own fingerprint
+			// without changing the model's shape or state space.
+			cfg.Storage.Disk.MTBFHours = 1000 + 100*float64(i)
+			points[i] = sweep.Point{Label: benchName("unique", i), Config: cfg}
+		}
+		return points
+	}
+	duplicatePoints := func() []sweep.Point {
+		points := make([]sweep.Point, 4)
+		for i := range points {
+			points[i] = sweep.Point{Label: benchName("dup", i), Config: abe.MiniExponential()}
+		}
+		return points
+	}
+	for _, tc := range []struct {
+		name   string
+		points func() []sweep.Point
+	}{
+		{"unique", uniquePoints},
+		{"duplicate", duplicatePoints},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			points := tc.points()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sweep.Run(points, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, pt := range res.Points {
+					if pt.Solver.Method != sweep.MethodUniformization {
+						b.Fatalf("point %q solved by %q, want uniformization", pt.Label, pt.Solver.Method)
+					}
 				}
 			}
 		})

@@ -29,6 +29,7 @@
 //
 //	abesim -experiment figure4 [-replications 60] [-mission 8760] [-seed 1] [-quick] [-json] [-parallelism N]
 //	abesim -experiment paper_full -json
+//	abesim -experiment figure4 -quick -cpuprofile cpu.pprof -memprofile mem.pprof
 //	abesim -experiment rare_event_dataloss -quick
 //	abesim -list
 //	abesim -all -quick
@@ -40,6 +41,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 )
@@ -59,6 +62,8 @@ func main() {
 		quick        = flag.Bool("quick", false, "fewer replications and sweep points")
 		jsonOut      = flag.Bool("json", false, "emit machine-readable JSON instead of rendered text")
 		analyze      = flag.Bool("analyze", false, "statically analyze the experiment's model configurations and include the result (text, or an \"analysis\" JSON section)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile   = flag.String("memprofile", "", "write a pprof heap profile taken after the run to this file")
 	)
 	flag.Parse()
 
@@ -85,6 +90,50 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Profiling brackets the experiment work only (flag parsing and output
+	// encoding included, process startup excluded). The profiles are written
+	// on success; a failing run exits without them.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpu profile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpu profile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatalf("cpu profile: %v", err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatalf("heap profile: %v", err)
+			}
+			// Collect garbage first so the profile shows live retained
+			// memory, not whatever the last GC cycle left behind.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("heap profile: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("heap profile: %v", err)
+			}
+		}()
+	}
+
+	if err := run(names, opts, *jsonOut, *analyze); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the selected experiments. It returns instead of exiting so
+// main's profile-writing defers fire on success.
+func run(names []string, opts experiments.Options, jsonOut, analyze bool) error {
 	// With -json, stdout is exactly one valid JSON document: the experiment's
 	// report alone, or — for several experiments — an envelope object mapping
 	// experiment name to report.
@@ -92,29 +141,29 @@ func main() {
 	for _, n := range names {
 		artifact, err := experiments.RunArtifact(n, opts)
 		if err != nil {
-			log.Fatalf("experiment %q: %v", n, err)
+			return fmt.Errorf("experiment %q: %v", n, err)
 		}
 		var analysis *experiments.ExperimentAnalysis
-		if *analyze {
+		if analyze {
 			analysis, err = experiments.AnalyzeExperiment(n, opts)
 			if err != nil {
-				log.Fatalf("experiment %q: %v", n, err)
+				return fmt.Errorf("experiment %q: %v", n, err)
 			}
 		}
-		if *jsonOut {
+		if jsonOut {
 			doc, err := artifact.JSON()
 			if err != nil {
-				log.Fatalf("experiment %q: encoding JSON: %v", n, err)
+				return fmt.Errorf("experiment %q: encoding JSON: %v", n, err)
 			}
 			if analysis != nil {
 				doc, err = withAnalysis(doc, analysis)
 				if err != nil {
-					log.Fatalf("experiment %q: %v", n, err)
+					return fmt.Errorf("experiment %q: %v", n, err)
 				}
 			}
 			if len(names) == 1 {
 				fmt.Print(doc)
-				return
+				return nil
 			}
 			envelope[n] = json.RawMessage(doc)
 			continue
@@ -124,13 +173,14 @@ func main() {
 			fmt.Printf("%s\n", analysis.Render())
 		}
 	}
-	if *jsonOut {
+	if jsonOut {
 		out, err := json.MarshalIndent(envelope, "", "  ")
 		if err != nil {
-			log.Fatalf("encoding JSON envelope: %v", err)
+			return fmt.Errorf("encoding JSON envelope: %v", err)
 		}
 		fmt.Println(string(out))
 	}
+	return nil
 }
 
 // withAnalysis splices an "analysis" section into an experiment's JSON

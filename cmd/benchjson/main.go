@@ -115,6 +115,17 @@ func parse(r io.Reader) (*Document, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	// Duplicate benchmark names mean the input holds more than one run of the
+	// same benchmark (-count > 1, or two concatenated bench passes). Tooling
+	// downstream keys on the name, so a silent last-one-wins (or first-one-
+	// wins) pick would misreport the perf trajectory; refuse instead.
+	seen := make(map[string]bool, len(doc.Benchmarks))
+	for _, b := range doc.Benchmarks {
+		if seen[b.Name] {
+			return nil, fmt.Errorf("duplicate benchmark name %q in input; run with -count=1 or split the inputs", b.Name)
+		}
+		seen[b.Name] = true
+	}
 	return doc, nil
 }
 

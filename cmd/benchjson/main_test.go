@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Test CPU
+BenchmarkA-8   	      10	 123456 ns/op	    2048 B/op	      12 allocs/op
+BenchmarkB/sub-8   	       5	 234567 ns/op	     9.5 events/rep
+PASS
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Pkg != "repro" || doc.CPU != "Test CPU" {
+		t.Errorf("header wrong: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2", len(doc.Benchmarks))
+	}
+	a := doc.Benchmarks[0]
+	if a.Name != "BenchmarkA-8" || a.Runs != 10 || a.Metrics["ns/op"] != 123456 || a.Metrics["allocs/op"] != 12 {
+		t.Errorf("benchmark A parsed wrong: %+v", a)
+	}
+	if b := doc.Benchmarks[1]; b.Metrics["events/rep"] != 9.5 {
+		t.Errorf("custom metric parsed wrong: %+v", b)
+	}
+}
+
+func TestParseRejectsDuplicateNames(t *testing.T) {
+	dup := benchOutput + "BenchmarkA-8   \t      20\t 111111 ns/op\n"
+	_, err := parse(strings.NewReader(dup))
+	if err == nil {
+		t.Fatal("duplicate benchmark names accepted")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkA-8") {
+		t.Errorf("error %q does not name the duplicate", err)
+	}
+}
+
+func TestParseRejectsMalformedLines(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkOnly",            // no iteration count
+		"BenchmarkX-8 notanumber",  // bad count
+		"BenchmarkX-8 3 12.5",      // value without unit
+		"BenchmarkX-8 3 abc ns/op", // bad metric value
+	} {
+		if _, err := parse(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("malformed line %q accepted", line)
+		}
+	}
+}

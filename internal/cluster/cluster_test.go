@@ -291,6 +291,9 @@ func TestBuildTransientSource(t *testing.T) {
 	}
 }
 
+// ulpOne is the spacing of float64 values around 1.0.
+const ulpOne = 0x1p-52
+
 // Property: for any valid pair configuration the pairs-out counter stays
 // consistent: availability lies in [0,1] and the final counter value is 0 or
 // 1 for a single pair.
@@ -328,7 +331,10 @@ func TestQuickPairCounterConsistency(t *testing.T) {
 		}
 		avail := res.Rewards["avail"]
 		out := res.Rewards["final_out"]
-		return avail >= 0 && avail <= 1 && (out == 0 || out == 1)
+		// The up-time accumulator sums interval lengths in float64, so an
+		// always-up run can land an ulp above 1 (e.g. 1+2e-16); allow that
+		// rounding without weakening the invariant.
+		return avail >= 0 && avail <= 1+4*ulpOne && (out == 0 || out == 1)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)

@@ -70,8 +70,21 @@ type explorer struct {
 // explore runs the BFS. It assumes the memoryless and vanishing-free
 // pre-checks passed; it still re-derives rates per state and re-checks
 // stability, because pre-checks at the initial marking cannot see
-// marking-dependent behavior.
+// marking-dependent behavior. The optimized interned explorer
+// (explore_fast.go) is the production path; Options.Baseline routes through
+// this file's sequential reference implementation. Both produce identical
+// state numbering, transitions, and refusals.
 func explore(cm *san.CompiledModel, opts Options) (*Generator, exploreResult) {
+	if opts.Baseline {
+		return exploreBaseline(cm, opts)
+	}
+	return exploreFast(cm, opts)
+}
+
+// newExplorer builds the shared semantic core: the timed/instantaneous
+// activity split and the per-activity impulse bindings both explorers (and
+// the vanishing closure) evaluate against.
+func newExplorer(cm *san.CompiledModel, opts Options) *explorer {
 	model := cm.Model()
 	ex := &explorer{
 		cm:        cm,
@@ -107,7 +120,11 @@ func explore(cm *san.CompiledModel, opts Options) (*Generator, exploreResult) {
 			ex.impulses[a.Index()] = append(ex.impulses[a.Index()], impulseBinding{rewardIndex: ri, fn: rv.Impulses[name]})
 		}
 	}
+	return ex
+}
 
+func exploreBaseline(cm *san.CompiledModel, opts Options) (*Generator, exploreResult) {
+	ex := newExplorer(cm, opts)
 	gen := &Generator{cm: cm}
 	res := exploreResult{}
 
@@ -306,9 +323,16 @@ func caseProbs(a *san.Activity, mark []int) ([]float64, error) {
 	if len(cases) == 1 {
 		return []float64{1}, nil
 	}
+	return caseProbsInto(a, mark, make([]float64, len(cases)), make([]float64, len(cases)))
+}
+
+// caseProbsInto is caseProbs with caller-supplied scratch (the optimized
+// explorer reuses masses and probs across activations; probs is also the
+// return value). Both slices must have length len(a.Cases()) ≥ 2.
+func caseProbsInto(a *san.Activity, mark []int, masses, probs []float64) ([]float64, error) {
+	cases := a.Cases()
 	var explicit float64
 	nilCount := 0
-	masses := make([]float64, len(cases))
 	for i, c := range cases {
 		if c.Probability == nil {
 			nilCount++
@@ -327,7 +351,7 @@ func caseProbs(a *san.Activity, mark []int) ([]float64, error) {
 	if nilCount == 0 {
 		total = explicit
 	}
-	probs := make([]float64, len(cases))
+	clear(probs)
 	if total <= 0 {
 		// No selectable mass: the simulator's scan falls through to the last
 		// case.

@@ -1,0 +1,324 @@
+package statespace_test
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/san"
+	"repro/internal/statespace"
+)
+
+// buildComponentFarm builds n independent two-state components with distinct
+// rates, a two-case failure branch (one case through an output gate), and
+// both rate and impulse rewards. Its state space is the full 2^n hypercube
+// with BFS levels up to C(n, n/2) states wide, so exploration at
+// parallelism > 1 exercises the chunked level-parallel path.
+func buildComponentFarm(t *testing.T, n int) *san.CompiledModel {
+	t.Helper()
+	m := san.NewModel("farm")
+	downs := make([]*san.Place, n)
+	for i := 0; i < n; i++ {
+		up := m.AddPlace(name("up", i), 1)
+		down := m.AddPlace(name("down", i), 0)
+		downs[i] = down
+		fail := m.AddTimedActivity(name("fail", i), mustExpRate(t, 0.001*float64(i+1)))
+		fail.AddInputArc(up, 1)
+		fail.AddCase(san.Case{
+			Probability: func(mr san.MarkingReader) float64 { return 0.7 },
+			OutputArcs:  []san.Arc{{Place: down, Mult: 1}},
+		})
+		fail.AddCase(san.Case{
+			Probability: func(mr san.MarkingReader) float64 { return 0.3 },
+			OutputGates: []*san.OutputGate{{
+				Name:      name("drop", i),
+				Transform: func(mw san.MarkingWriter) { mw.SetTokens(down, 1) },
+			}},
+		})
+		repair := m.AddTimedActivity(name("repair", i), mustExpRate(t, 0.05*float64(i+1)))
+		repair.AddInputArc(down, 1)
+		repair.AddOutputArc(up, 1)
+	}
+	cm, err := san.Compile(m, []san.RewardVariable{
+		san.UpFraction("all_up", func(mr san.MarkingReader) bool {
+			for _, d := range downs {
+				if mr.Tokens(d) > 0 {
+					return false
+				}
+			}
+			return true
+		}),
+		san.CompletionCount("repairs0", name("repair", 0)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+func name(prefix string, i int) string {
+	return prefix + string(rune('a'+i))
+}
+
+// certifyFarm certifies the component farm with the given options and fails
+// the test on refusal.
+func certifyFarm(t *testing.T, cm *san.CompiledModel, opts statespace.Options) *statespace.Generator {
+	t.Helper()
+	gen, cert := statespace.Certify(cm, opts)
+	if !cert.Certified() {
+		t.Fatalf("refused: %s", cert.Summary())
+	}
+	return gen
+}
+
+// sameChain asserts two generators are the same CTMC, state for state and
+// bit for bit. Impulse vectors are compared semantically: the optimized
+// explorer emits nil for impulse-free edges where the reference emits an
+// all-zero vector, and the two contribute identically to every reward.
+func sameChain(t *testing.T, got, want *statespace.Generator) {
+	t.Helper()
+	if len(got.States) != len(want.States) {
+		t.Fatalf("state count: got %d want %d", len(got.States), len(want.States))
+	}
+	for si := range want.States {
+		gm, wm := got.States[si], want.States[si]
+		for pi := range wm {
+			if gm[pi] != wm[pi] {
+				t.Fatalf("state %d marking differs at place %d: got %d want %d", si, pi, gm[pi], wm[pi])
+			}
+		}
+	}
+	if len(got.Initial) != len(want.Initial) {
+		t.Fatalf("initial atoms: got %d want %d", len(got.Initial), len(want.Initial))
+	}
+	for i := range want.Initial {
+		if got.Initial[i] != want.Initial[i] {
+			t.Fatalf("initial atom %d: got %+v want %+v", i, got.Initial[i], want.Initial[i])
+		}
+	}
+	for ri := range want.InitialImpulses {
+		if got.InitialImpulses[ri] != want.InitialImpulses[ri] {
+			t.Fatalf("initial impulse %d: got %v want %v", ri, got.InitialImpulses[ri], want.InitialImpulses[ri])
+		}
+	}
+	for si := range want.Transitions {
+		ge, we := got.Transitions[si], want.Transitions[si]
+		if len(ge) != len(we) {
+			t.Fatalf("state %d: got %d edges want %d", si, len(ge), len(we))
+		}
+		for k := range we {
+			g, w := ge[k], we[k]
+			if g.From != w.From || g.To != w.To || g.Activity != w.Activity ||
+				math.Float64bits(g.Rate) != math.Float64bits(w.Rate) {
+				t.Fatalf("state %d edge %d: got %+v want %+v", si, k, g, w)
+			}
+			n := len(g.Impulses)
+			if len(w.Impulses) > n {
+				n = len(w.Impulses)
+			}
+			for ri := 0; ri < n; ri++ {
+				var gi, wi float64
+				if ri < len(g.Impulses) {
+					gi = g.Impulses[ri]
+				}
+				if ri < len(w.Impulses) {
+					wi = w.Impulses[ri]
+				}
+				if math.Float64bits(gi) != math.Float64bits(wi) {
+					t.Fatalf("state %d edge %d impulse %d: got %v want %v", si, k, ri, gi, wi)
+				}
+			}
+		}
+	}
+}
+
+// TestExploreFastMatchesBaseline checks the interned explorer against the
+// sequential reference implementation on the hypercube fixture: identical
+// state numbering, markings, initial distribution, and edges, at
+// parallelism 1 and at a worker count far above the chunk count.
+func TestExploreFastMatchesBaseline(t *testing.T) {
+	cm := buildComponentFarm(t, 8)
+	ref := certifyFarm(t, cm, statespace.Options{Baseline: true})
+	if len(ref.States) != 256 {
+		t.Fatalf("fixture: got %d states, want 256", len(ref.States))
+	}
+	for _, par := range []int{1, 8} {
+		fast := certifyFarm(t, cm, statespace.Options{Parallelism: par})
+		sameChain(t, fast, ref)
+	}
+}
+
+// TestExploreFastMatchesBaselineVanishing repeats the differential check on
+// a model with instantaneous activities, covering the vanishing-elimination
+// route of the optimized explorer.
+func TestExploreFastMatchesBaselineVanishing(t *testing.T) {
+	build := func() *san.CompiledModel {
+		m := san.NewModel("vanish")
+		up := m.AddPlace("up", 2)
+		staged := m.AddPlace("staged", 0)
+		downA := m.AddPlace("down_a", 0)
+		downB := m.AddPlace("down_b", 0)
+		fail := m.AddTimedActivity("fail", mustExpRate(t, 0.01))
+		fail.AddInputArc(up, 1)
+		fail.AddOutputArc(staged, 1)
+		route := m.AddInstantaneousActivity("route")
+		route.AddInputArc(staged, 1)
+		route.AddCase(san.Case{
+			Probability: func(mr san.MarkingReader) float64 { return 0.5 },
+			OutputArcs:  []san.Arc{{Place: downA, Mult: 1}},
+		})
+		route.AddCase(san.Case{
+			Probability: func(mr san.MarkingReader) float64 { return 0.5 },
+			OutputArcs:  []san.Arc{{Place: downB, Mult: 1}},
+		})
+		repairA := m.AddTimedActivity("repair_a", mustExpRate(t, 0.2))
+		repairA.AddInputArc(downA, 1)
+		repairA.AddOutputArc(up, 1)
+		repairB := m.AddTimedActivity("repair_b", mustExpRate(t, 0.3))
+		repairB.AddInputArc(downB, 1)
+		repairB.AddOutputArc(up, 1)
+		cm, err := san.Compile(m, []san.RewardVariable{
+			san.UpFraction("avail", func(mr san.MarkingReader) bool { return mr.Tokens(up) > 0 }),
+			san.CompletionCount("routed", "route"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cm
+	}
+	ref := certifyFarm(t, build(), statespace.Options{Baseline: true})
+	fast := certifyFarm(t, build(), statespace.Options{Parallelism: 4})
+	sameChain(t, fast, ref)
+}
+
+// TestExploreGoldenNumbering pins the state numbering of the hypercube
+// fixture to a golden digest. The baseline and optimized explorers are
+// required to agree with each other *and* with this constant, so neither can
+// silently drift — the interned index must keep assigning indices in the
+// reference discovery order.
+func TestExploreGoldenNumbering(t *testing.T) {
+	const golden = "c4ad5665ce507fab4bd04e4f95bb3e4bc8a543d60056960d57949dd0b445d6a4"
+	cm := buildComponentFarm(t, 8)
+	for _, opts := range []statespace.Options{{Baseline: true}, {}, {Parallelism: 8}} {
+		gen := certifyFarm(t, cm, opts)
+		h := sha256.New()
+		var buf [8]byte
+		for _, mark := range gen.States {
+			for _, v := range mark {
+				binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+				h.Write(buf[:])
+			}
+		}
+		if got := hex.EncodeToString(h.Sum(nil)); got != golden {
+			t.Fatalf("state numbering drifted (opts %+v):\n got %s\nwant %s", opts, got, golden)
+		}
+	}
+}
+
+// TestSolveBitIdenticalAcrossParallelism runs explore + SolveTransient +
+// SolveSteadyState at parallelism 1 and at several higher worker counts and
+// asserts the reward maps are bit-identical: the fixed-chunk kernels must
+// make the worker count unobservable in the floating-point result.
+func TestSolveBitIdenticalAcrossParallelism(t *testing.T) {
+	cm := buildComponentFarm(t, 8)
+	base := certifyFarm(t, cm, statespace.Options{Parallelism: 1})
+	wantTr, err := base.SolveTransient(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSS, err := base.SolveSteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4, 16} {
+		gen := certifyFarm(t, cm, statespace.Options{Parallelism: par})
+		gotTr, err := gen.SolveTransient(5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSS, err := gen.SolveSteadyState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, want := range wantTr {
+			if math.Float64bits(gotTr[name]) != math.Float64bits(want) {
+				t.Errorf("parallelism %d: transient %q = %v, want bit-identical %v", par, name, gotTr[name], want)
+			}
+		}
+		for name, want := range wantSS {
+			if math.Float64bits(gotSS[name]) != math.Float64bits(want) {
+				t.Errorf("parallelism %d: steady-state %q = %v, want bit-identical %v", par, name, gotSS[name], want)
+			}
+		}
+	}
+}
+
+// TestFastSolverMatchesBaselineNumerically checks the gather kernel against
+// the scatter reference: same chain, same series, results equal to
+// reassociation-level tolerance.
+func TestFastSolverMatchesBaselineNumerically(t *testing.T) {
+	cm := buildComponentFarm(t, 6)
+	ref := certifyFarm(t, cm, statespace.Options{Baseline: true})
+	fast := certifyFarm(t, cm, statespace.Options{Parallelism: 4})
+	want, err := ref.SolveTransient(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fast.SolveTransient(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, w := range want {
+		if diff := math.Abs(got[name] - w); diff > 1e-9*(1+math.Abs(w)) {
+			t.Errorf("reward %q: fast %v vs baseline %v (diff %g)", name, got[name], w, diff)
+		}
+	}
+}
+
+// TestExploreFastRefusalsMatchBaseline checks that the optimized explorer
+// reproduces the reference explorer's refusals — text and classification —
+// for marking-dependent rates without reactivation and for budget overruns.
+func TestExploreFastRefusalsMatchBaseline(t *testing.T) {
+	build := func() *san.CompiledModel {
+		m := san.NewModel("nm")
+		p := m.AddPlace("p", 2)
+		q := m.AddPlace("q", 0)
+		// Marking-dependent rate without reactivation: refused during
+		// exploration, not at the initial-marking pre-check.
+		a := m.AddTimedActivityFunc("drain", func(mr san.MarkingReader) dist.Distribution {
+			return mustExpRate(t, float64(1+mr.Tokens(p)))
+		})
+		a.AddInputArc(p, 1)
+		a.AddOutputArc(q, 1)
+		cm, err := san.Compile(m, []san.RewardVariable{
+			san.UpFraction("up", func(mr san.MarkingReader) bool { return mr.Tokens(p) > 0 }),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cm
+	}
+	_, refCert := statespace.Certify(build(), statespace.Options{Baseline: true})
+	_, fastCert := statespace.Certify(build(), statespace.Options{Parallelism: 4})
+	if refCert.Certified() || fastCert.Certified() {
+		t.Fatal("fixture unexpectedly certified")
+	}
+	if got, want := fastCert.Summary(), refCert.Summary(); got != want {
+		t.Fatalf("refusal text differs:\nfast:     %s\nbaseline: %s", got, want)
+	}
+
+	// Budget overrun: both paths must stop at the same budget with the same
+	// refusal.
+	cm := buildComponentFarm(t, 8)
+	_, refCert = statespace.Certify(cm, statespace.Options{Baseline: true, MaxStates: 100})
+	_, fastCert = statespace.Certify(cm, statespace.Options{Parallelism: 4, MaxStates: 100})
+	if refCert.Certified() || fastCert.Certified() {
+		t.Fatal("budget fixture unexpectedly certified")
+	}
+	if got, want := fastCert.Summary(), refCert.Summary(); got != want {
+		t.Fatalf("budget refusal differs:\nfast:     %s\nbaseline: %s", got, want)
+	}
+}

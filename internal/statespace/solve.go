@@ -118,10 +118,12 @@ func (g *Generator) impulseFlux(ri int) []float64 {
 	return flux
 }
 
-// SolveTransient computes every reward variable at mission time T by
+// solveTransientBaseline computes every reward variable at mission time T by
 // uniformization and returns them keyed by reward name — the exact analogue
-// of one simulated replication's Result.Rewards, in expectation.
-func (g *Generator) SolveTransient(T float64) (map[string]float64, error) {
+// of one simulated replication's Result.Rewards, in expectation. It is the
+// sequential reference implementation behind SolveTransient (solve_fast.go
+// holds the production kernels); Options.Baseline routes solves here.
+func (g *Generator) solveTransientBaseline(T float64) (map[string]float64, error) {
 	if !(T > 0) || math.IsInf(T, 0) {
 		return nil, fmt.Errorf("%w: mission time %v", ErrSolve, T)
 	}
@@ -220,12 +222,13 @@ func (g *Generator) SolveTransient(T float64) (map[string]float64, error) {
 	return g.evalRewards(pi, sojourn, T)
 }
 
-// SolveSteadyState computes the long-run value of every reward variable:
-// the stationary expectation of rate rewards plus the stationary impulse
-// flux for accumulated-mode rewards (per unit time). The embedded
+// solveSteadyStateBaseline computes the long-run value of every reward
+// variable: the stationary expectation of rate rewards plus the stationary
+// impulse flux for accumulated-mode rewards (per unit time). The embedded
 // uniformized chain is iterated at 1.05× the maximal exit rate so it is
-// aperiodic whenever the CTMC is irreducible over its recurrent classes.
-func (g *Generator) SolveSteadyState() (map[string]float64, error) {
+// aperiodic whenever the CTMC is irreducible over its recurrent classes. It
+// is the sequential reference implementation behind SolveSteadyState.
+func (g *Generator) solveSteadyStateBaseline() (map[string]float64, error) {
 	n := len(g.States)
 	pi := make([]float64, n)
 	for _, sp := range g.Initial {
@@ -254,8 +257,13 @@ func (g *Generator) SolveSteadyState() (map[string]float64, error) {
 			return nil, fmt.Errorf("%w: steady-state power iteration did not converge within %d steps", ErrSolve, maxIter)
 		}
 	}
-	// Long-run averages: rate expectation plus impulse flux under π. The
-	// sojourn vector of a unit horizon under π is π itself.
+	return g.longRunRewards(pi)
+}
+
+// longRunRewards folds a stationary distribution into the reward variables:
+// rate expectation plus impulse flux under π. The sojourn vector of a unit
+// horizon under π is π itself.
+func (g *Generator) longRunRewards(pi []float64) (map[string]float64, error) {
 	out := make(map[string]float64, len(g.cm.Rewards()))
 	for ri, rv := range g.cm.Rewards() {
 		rates, err := g.stateRates(ri)

@@ -36,6 +36,17 @@ type Options struct {
 	// MaxFarkasRows caps the intermediate tableau growth of the invariant
 	// computation. Zero means DefaultMaxFarkasRows.
 	MaxFarkasRows int
+	// Parallelism is the worker count for the parallel exploration and
+	// solver kernels. Zero means GOMAXPROCS; one forces sequential
+	// execution. Results are bit-identical at every setting: the parallel
+	// kernels partition work into fixed-size chunks (independent of the
+	// worker count) and reduce per-chunk partials in chunk-index order.
+	Parallelism int
+	// Baseline routes exploration and the solvers through the sequential
+	// reference implementations (string-keyed interning, scatter SpMV).
+	// It exists for differential tests and benchmarks of the optimized
+	// tier; production callers leave it false.
+	Baseline bool
 }
 
 // Default analysis budgets.
@@ -110,6 +121,12 @@ type Generator struct {
 	// Transitions[s] lists the outgoing edges of state s, in deterministic
 	// (activity declaration, case, path) order.
 	Transitions [][]Transition
+
+	// par and baseline are carried over from the certify Options: the
+	// worker count for the parallel solver kernels (0 = GOMAXPROCS) and
+	// whether solves run on the sequential reference path.
+	par      int
+	baseline bool
 }
 
 // NumTransitions returns the total edge count.
@@ -212,6 +229,8 @@ func Certify(cm *san.CompiledModel, opts Options) (*Generator, san.Certificate) 
 	cert.States = len(gen.States)
 	cert.Transitions = gen.NumTransitions()
 	cert.PlaceBounds = placeBounds(cm, inv, exp.observedMax)
+	gen.par = opts.Parallelism
+	gen.baseline = opts.Baseline
 	return gen, cert
 }
 

@@ -83,6 +83,13 @@ type Solver struct {
 	// Certificate is the structural certificate when certification ran (it
 	// is skipped under ForceSimulation).
 	Certificate *san.Certificate
+	// Cache is CacheMiss when this point's solver outcome was computed during
+	// the sweep and CacheHit when it was shared from an earlier point (or a
+	// warm SolveCache) with the same content fingerprint, mission, solver
+	// tier, and fit tolerance. Empty under ForceSimulation, where no solver
+	// work is cacheable. Labels are assigned in point order, never by
+	// execution timing, and a hit is byte-identical to a recompute.
+	Cache string
 }
 
 // Solver methods.
@@ -214,10 +221,26 @@ func fittedCertify(cfg abe.Config, tol float64) (*statespace.Generator, san.Cert
 
 // Run evaluates every point of the sweep under the given study options
 // (opts.Seed is the sweep-level master seed; opts.Parallelism sizes the
-// shared worker pool). It returns per-point measures in input order.
+// shared worker pool). It returns per-point measures in input order. Solver
+// outcomes are deduplicated within the sweep through a fresh SolveCache.
 func Run(points []Point, opts san.Options) (*Result, error) {
+	return RunWithCache(points, opts, nil)
+}
+
+// RunWithCache is Run with a caller-held solve cache: points whose
+// (fingerprint, mission, solver tier, fit tolerance) key is already in the
+// cache — from an earlier point of this sweep or from a previous sweep —
+// reuse the memoized solver outcome instead of re-certifying and re-solving.
+// A nil cache gets a fresh one. Cached reuse is invisible in the results
+// except for the per-point Solver.Cache label: a hit returns the exact
+// rewards, method, reasons, and certificate the original computation
+// produced.
+func RunWithCache(points []Point, opts san.Options, cache *SolveCache) (*Result, error) {
 	if len(points) == 0 {
 		return nil, ErrNoPoints
+	}
+	if cache == nil {
+		cache = NewSolveCache()
 	}
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -250,71 +273,90 @@ func Run(points []Point, opts san.Options) (*Result, error) {
 	// by uniformization — exact, zero variance, no replications. Points
 	// whose certificate is refused (or whose solve fails numerically)
 	// simulate, with the structured reasons recorded; ForceSimulation skips
-	// certification outright. The certificate pipeline fails fast on
-	// non-memoryless models, so this pre-pass costs at most one bounded
-	// exploration (comparable to a fraction of one replication) per point.
+	// certification outright. Outcomes are memoized in the solve cache by
+	// content fingerprint, so duplicate configurations — common-random-number
+	// design comparisons, repeated calibrated sweeps — certify and solve
+	// once; the sync.Once per entry makes concurrent duplicates block on the
+	// first computation instead of racing it. The pre-pass runs the points on
+	// opts.Parallelism workers; every memoized object is shared read-only
+	// afterwards.
 	analytic := make([]map[string]float64, len(points))
 	solverInfo := make([]Solver, len(points))
-	for i, pt := range points {
-		if pt.ForceSimulation {
-			solverInfo[i] = Solver{Method: MethodSimulation, Reasons: []string{"forced: point requests simulation"}}
-			continue
-		}
-		pp := plans[i]
-		pp.build(pt.Config)
-		if pp.buildErr != nil {
-			return nil, fmt.Errorf("sweep: point %d (%s): %w", i, pt.label(), pp.buildErr)
-		}
-		gen, cert := statespace.Certify(pp.compiled, statespace.Options{})
-		if !cert.Certified() && hasPrefix(cert.Refusals, san.RefusalNonMemoryless) {
-			// Phase-type expansion retry: rebuild the point's model fresh
-			// (ExpandPhases mutates its input and the simulation fallback
-			// must keep the original compiled model bit-identical), expand,
-			// and certify the expanded image. When the pass rewrote nothing
-			// the original certificate stands; when it did, the expanded
-			// certificate — evidence, refusals, and all — replaces it.
-			exGen, exCert, rep, err := expandedCertify(pt.Config)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: point %d (%s): %w", i, pt.label(), err)
+	keys := make([]solveKey, len(points))
+	hasKey := make([]bool, len(points))
+	preErr := make([]error, len(points))
+	prior := cache.snapshot()
+	tier := solverTier(opts)
+	idxCh := make(chan int, len(points))
+	for i := range points {
+		idxCh <- i
+	}
+	close(idxCh)
+	preWorkers := opts.Parallelism
+	if preWorkers > len(points) {
+		preWorkers = len(points)
+	}
+	if preWorkers < 1 {
+		preWorkers = 1
+	}
+	var preWG sync.WaitGroup
+	for w := 0; w < preWorkers; w++ {
+		preWG.Add(1)
+		go func() {
+			defer preWG.Done()
+			for i := range idxCh {
+				pt := points[i]
+				if pt.ForceSimulation {
+					solverInfo[i] = Solver{Method: MethodSimulation, Reasons: []string{"forced: point requests simulation"}}
+					continue
+				}
+				pp := plans[i]
+				pp.build(pt.Config)
+				if pp.buildErr != nil {
+					preErr[i] = pp.buildErr
+					continue
+				}
+				k := solveKey{
+					fingerprint: pp.compiled.Fingerprint(),
+					mission:     pp.opts.Mission,
+					tier:        tier,
+					fitTol:      opts.PHFitTolerance,
+				}
+				keys[i], hasKey[i] = k, true
+				e := cache.entry(k)
+				e.once.Do(func() {
+					e.rewards, e.solver, e.err = solvePoint(pt.Config, pp.compiled, pp.opts.Mission, opts.PHFitTolerance)
+				})
+				if e.err != nil {
+					preErr[i] = e.err
+					continue
+				}
+				analytic[i] = e.rewards
+				solverInfo[i] = e.solver
 			}
-			if len(rep.Expanded) > 0 {
-				gen, cert = exGen, exCert
-			}
-		}
-		if !cert.Certified() && hasPrefix(cert.Refusals, san.RefusalNonMemoryless) && opts.PHFitTolerance > 0 {
-			// Approximate-fitting retry, opted into via PHFitTolerance: some
-			// delay has no exact phase form, so rebuild once more and run the
-			// certified fitting tier over the non-expandable remainder. Only
-			// an image that actually adopted surrogates replaces the standing
-			// certificate; the answer is then labeled uniformization-approx,
-			// never plain uniformization.
-			fitGen, fitCert, rep, err := fittedCertify(pt.Config, opts.PHFitTolerance)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: point %d (%s): %w", i, pt.label(), err)
-			}
-			if len(rep.Fits) > 0 {
-				gen, cert = fitGen, fitCert
-			}
-		}
-		c := cert
-		solverInfo[i].Certificate = &c
-		if !cert.Certified() {
-			solverInfo[i].Method = MethodSimulation
-			solverInfo[i].Reasons = cert.Refusals
-			continue
-		}
-		rewards, err := gen.SolveTransient(pp.opts.Mission)
+		}()
+	}
+	preWG.Wait()
+	for i, err := range preErr {
 		if err != nil {
-			solverInfo[i].Method = MethodSimulation
-			solverInfo[i].Reasons = []string{err.Error()}
+			return nil, fmt.Errorf("sweep: point %d (%s): %w", i, points[i].label(), err)
+		}
+	}
+	// Hit/miss labels, assigned in point order against the cache's pre-sweep
+	// contents: the lowest-indexed point holding a key not already in the
+	// cache is the miss, every later holder is a hit — regardless of which
+	// worker actually computed the entry.
+	seen := make(map[solveKey]bool, len(points))
+	for i := range points {
+		if !hasKey[i] {
 			continue
 		}
-		if len(cert.Approximations) > 0 {
-			solverInfo[i].Method = MethodUniformizationApprox
+		if prior[keys[i]] || seen[keys[i]] {
+			solverInfo[i].Cache = CacheHit
 		} else {
-			solverInfo[i].Method = MethodUniformization
+			solverInfo[i].Cache = CacheMiss
 		}
-		analytic[i] = rewards
+		seen[keys[i]] = true
 	}
 
 	// One flat job list over the whole sweep, enqueued configuration-major.
@@ -485,8 +527,13 @@ type ReportPoint struct {
 // per-activity CDF distance bounds are in the certificate's approximations),
 // "simulation" otherwise — with the certificate's structured refusals (or the
 // ForceSimulation override, or a numerical solver error) as the reasons.
+// The cache field is "miss" when the point's solver outcome was computed
+// during the sweep, "hit" when it was shared from a fingerprint-identical
+// point (or a warm cache), and absent under ForceSimulation; a hit is
+// byte-identical to a recompute in every other field.
 type ReportSolver struct {
 	Method      string           `json:"method"`
+	Cache       string           `json:"cache,omitempty"`
 	Reasons     []string         `json:"reasons,omitempty"`
 	Certificate *san.Certificate `json:"certificate,omitempty"`
 }
@@ -547,6 +594,7 @@ func (r *Result) Report() Report {
 			},
 			Solver: ReportSolver{
 				Method:      pt.Solver.Method,
+				Cache:       pt.Solver.Cache,
 				Reasons:     pt.Solver.Reasons,
 				Certificate: pt.Solver.Certificate,
 			},
